@@ -1,0 +1,109 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table/figure,
+   timing the hot computation behind that experiment.  These quantify the
+   cost of the machinery (protocol step, receive path, census, MC solves),
+   not the paper's results themselves. *)
+
+open Bechamel
+open Toolkit
+
+module Runner = Sf_core.Runner
+module Protocol = Sf_core.Protocol
+module Topology = Sf_core.Topology
+
+let config = Protocol.make_config ~view_size:40 ~lower_threshold:18
+
+let prepared_system loss =
+  let rng = Sf_prng.Rng.create 3 in
+  let topology = Topology.regular rng ~n:500 ~out_degree:30 in
+  let r = Runner.create ~seed:4 ~n:500 ~loss_rate:loss ~config ~topology () in
+  Runner.run_rounds r 100;
+  r
+
+let tests () =
+  let sim = prepared_system 0.05 in
+  let sim_no_loss = prepared_system 0. in
+  let analytic_dist = Sf_analysis.Analytic.outdegree_distribution ~dm:90 in
+  let rw_rng = Sf_prng.Rng.create 5 in
+  [
+    (* F5.2: one protocol action (initiate + synchronous receive). *)
+    Test.make ~name:"F5.2 protocol action" (Staged.stage (fun () -> Runner.step sim));
+    (* F6.1: the analytic distribution of eq (6.1). *)
+    Test.make ~name:"F6.1 eq-6.1 distribution"
+      (Staged.stage (fun () ->
+           ignore (Sf_analysis.Analytic.outdegree_distribution ~dm:90)));
+    (* T6.3: threshold selection. *)
+    Test.make ~name:"T6.3 threshold selection"
+      (Staged.stage (fun () -> ignore (Sf_analysis.Thresholds.select ~d_hat:30 ~delta:0.01)));
+    (* F6.3/L6.6: one full round of the loss simulation. *)
+    Test.make ~name:"F6.3 simulation round"
+      (Staged.stage (fun () -> Runner.run_rounds sim 1));
+    (* F6.4: the decay curve. *)
+    Test.make ~name:"F6.4 decay curve"
+      (Staged.stage (fun () ->
+           let p =
+             Sf_analysis.Decay.make_params ~loss:0.01 ~delta:0.01 ~lower_threshold:18
+               ~view_size:40
+           in
+           ignore (Sf_analysis.Decay.survival_curve p ~rounds:500)));
+    (* L7.6: the uniformity accumulation primitive (membership snapshot). *)
+    Test.make ~name:"L7.6 membership snapshot"
+      (Staged.stage (fun () -> ignore (Runner.membership_graph sim_no_loss)));
+    (* F7.1: the dependence census. *)
+    Test.make ~name:"F7.1 dependence census"
+      (Staged.stage (fun () -> ignore (Sf_core.Properties.independence_census sim)));
+    (* T7.4: the connectivity rule's deep binomial tail. *)
+    Test.make ~name:"T7.4 connectivity rule"
+      (Staged.stage (fun () ->
+           ignore
+             (Sf_analysis.Connectivity.minimal_lower_threshold ~alpha:0.96 ~epsilon:1e-30 ())));
+    (* L7.15: tau_eps evaluation. *)
+    Test.make ~name:"L7.15 tau_eps"
+      (Staged.stage (fun () ->
+           let p =
+             Sf_analysis.Temporal.make_params ~n:100_000 ~view_size:40
+               ~expected_outdegree:27. ~alpha:0.96
+           in
+           ignore (Sf_analysis.Temporal.tau_epsilon p ~epsilon:0.01)));
+    (* B2: one random walk. *)
+    Test.make ~name:"B2 random walk (len 20)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sf_core.Random_walk.walk sim rw_rng ~start:0 ~length:20 ~loss_rate:0.05)));
+    (* Reference point for the pmf machinery used throughout. *)
+    Test.make ~name:"pmf tv-distance"
+      (Staged.stage (fun () -> ignore (Sf_stats.Pmf.tv_distance analytic_dist analytic_dist)));
+  ]
+
+let run () =
+  Output.section "SPEED" "Bechamel micro-benchmarks (one per experiment)";
+  Fmt.pr "Monotonic-clock time per run, ordinary least squares estimate.@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let grouped = Test.make_grouped ~name:"repro" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (x :: _) -> x
+        | _ -> Float.nan
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Output.table
+    [ "benchmark"; "time per run" ]
+    (List.map
+       (fun (name, ns) ->
+         let pretty =
+           if Float.is_nan ns then "n/a"
+           else if ns >= 1e9 then Fmt.str "%.2f s" (ns /. 1e9)
+           else if ns >= 1e6 then Fmt.str "%.2f ms" (ns /. 1e6)
+           else if ns >= 1e3 then Fmt.str "%.2f us" (ns /. 1e3)
+           else Fmt.str "%.0f ns" ns
+         in
+         [ name; pretty ])
+       rows)

@@ -1,0 +1,574 @@
+(* sfg — command-line driver for the Send & Forget reproduction.
+
+   Every analysis and experiment in the library is reachable from here with
+   explicit parameters, so results can be regenerated piecemeal without the
+   full bench harness.  See `sfg --help` and per-command help. *)
+
+open Cmdliner
+
+module Runner = Sf_core.Runner
+module Protocol = Sf_core.Protocol
+module Topology = Sf_core.Topology
+module Properties = Sf_core.Properties
+module Census = Sf_core.Census
+module Summary = Sf_stats.Summary
+module Pmf = Sf_stats.Pmf
+
+(* --- Common arguments --- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let n_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let view_size_arg =
+  Arg.(value & opt int 40 & info [ "s"; "view-size" ] ~docv:"S" ~doc:"View size s (even).")
+
+let lower_threshold_arg =
+  Arg.(
+    value
+    & opt int 18
+    & info [ "dl"; "lower-threshold" ] ~docv:"DL"
+        ~doc:"Lower outdegree threshold dL (even).")
+
+let loss_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "loss" ] ~docv:"P" ~doc:"Uniform i.i.d. message loss probability.")
+
+let rounds_arg default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to run (one round = n actions).")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "delta" ] ~docv:"D" ~doc:"Duplication/deletion probability budget.")
+
+let make_runner ~seed ~n ~view_size ~lower_threshold ~loss =
+  let config = Protocol.make_config ~view_size ~lower_threshold in
+  let out_degree = min (n - 1) (max lower_threshold ((view_size + lower_threshold) / 2)) in
+  let out_degree = if out_degree mod 2 = 0 then out_degree else out_degree - 1 in
+  let rng = Sf_prng.Rng.create (seed + 1) in
+  let topology = Topology.regular rng ~n ~out_degree in
+  Runner.create ~seed ~n ~loss_rate:loss ~config ~topology ()
+
+let print_system_state r =
+  let outs = Properties.outdegree_summary r in
+  let ins = Properties.indegree_summary r in
+  let census = Properties.independence_census r in
+  Fmt.pr "nodes:       %d@." (Runner.live_count r);
+  Fmt.pr "actions:     %d@." (Runner.action_count r);
+  Fmt.pr "outdegree:   %.2f ± %.2f  (min %.0f, max %.0f)@." (Summary.mean outs)
+    (Summary.std outs) (Summary.min_value outs) (Summary.max_value outs);
+  Fmt.pr "indegree:    %.2f ± %.2f  (min %.0f, max %.0f)@." (Summary.mean ins)
+    (Summary.std ins) (Summary.min_value ins) (Summary.max_value ins);
+  Fmt.pr "alpha:       %.4f  (self %d, anchored %d, parallel %d of %d entries)@."
+    census.Census.alpha census.Census.self_edges census.Census.anchored
+    census.Census.parallel_surplus census.Census.total_entries;
+  Fmt.pr "connected:   %b@." (Properties.is_weakly_connected r);
+  let net = Runner.network_statistics r in
+  Fmt.pr "messages:    %d sent, %d delivered, %d lost, %d to dead nodes@."
+    net.Sf_engine.Network.messages_sent net.Sf_engine.Network.messages_delivered
+    net.Sf_engine.Network.messages_lost net.Sf_engine.Network.messages_to_dead_nodes
+
+(* --- simulate --- *)
+
+let simulate seed n view_size lower_threshold loss rounds timed =
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  if timed then begin
+    Runner.start_timed r (Runner.Poisson 1.0);
+    Runner.run_until r (float_of_int rounds)
+  end
+  else Runner.run_rounds r rounds;
+  let base = Runner.world_counters r in
+  if timed then Runner.run_until r (float_of_int (2 * rounds))
+  else Runner.run_rounds r rounds;
+  print_system_state r;
+  let rates = Runner.rates_since r base in
+  Fmt.pr "rates/send:  duplication %.4f, deletion %.4f, loss %.4f@."
+    rates.Runner.duplication rates.Runner.deletion rates.Runner.loss;
+  Fmt.pr "Lemma 6.6:   dup - (loss + del) = %+.4f@."
+    (rates.Runner.duplication -. rates.Runner.loss -. rates.Runner.deletion)
+
+let simulate_cmd =
+  let timed =
+    Arg.(value & flag & info [ "timed" ] ~doc:"Run the timed (event-driven) model.")
+  in
+  let doc = "Run an S&F system and report degree, independence and rate statistics." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ rounds_arg 400 $ timed)
+
+(* --- degree-mc --- *)
+
+let degree_mc view_size lower_threshold loss full =
+  let params =
+    Sf_analysis.Degree_mc.make_params ~view_size ~lower_threshold ~loss ()
+  in
+  let r = Sf_analysis.Degree_mc.solve params in
+  Fmt.pr "converged:     %b (%d outer iterations)@." r.Sf_analysis.Degree_mc.converged
+    r.Sf_analysis.Degree_mc.outer_iterations;
+  Fmt.pr "outdegree:     %.3f ± %.3f (mode %d)@."
+    (Pmf.mean r.Sf_analysis.Degree_mc.outdegree)
+    (Pmf.std r.Sf_analysis.Degree_mc.outdegree)
+    (Pmf.mode r.Sf_analysis.Degree_mc.outdegree);
+  Fmt.pr "indegree:      %.3f ± %.3f (mode %d)@."
+    (Pmf.mean r.Sf_analysis.Degree_mc.indegree)
+    (Pmf.std r.Sf_analysis.Degree_mc.indegree)
+    (Pmf.mode r.Sf_analysis.Degree_mc.indegree);
+  Fmt.pr "duplication:   %.4f per send@." r.Sf_analysis.Degree_mc.duplication_probability;
+  Fmt.pr "deletion:      %.4f per send@." r.Sf_analysis.Degree_mc.deletion_probability;
+  Fmt.pr "loss+deletion: %.4f  (Lemma 6.6 balance)@."
+    (loss +. r.Sf_analysis.Degree_mc.deletion_probability);
+  if full then begin
+    Fmt.pr "@.outdegree distribution:@.";
+    Sf_stats.Ascii_plot.pmf Fmt.stdout r.Sf_analysis.Degree_mc.outdegree;
+    Fmt.pr "@.indegree distribution:@.";
+    Sf_stats.Ascii_plot.pmf Fmt.stdout r.Sf_analysis.Degree_mc.indegree
+  end
+
+let degree_mc_cmd =
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Print the full distributions.") in
+  let doc = "Solve the section 6.2 degree Markov chain to its fixed point." in
+  Cmd.v (Cmd.info "degree-mc" ~doc)
+    Term.(const degree_mc $ view_size_arg $ lower_threshold_arg $ loss_arg $ full)
+
+(* --- thresholds --- *)
+
+let thresholds d_hat delta literal =
+  let t =
+    if literal then Sf_analysis.Thresholds.select_literal ~d_hat ~delta
+    else Sf_analysis.Thresholds.select ~d_hat ~delta
+  in
+  Fmt.pr "%a@." Sf_analysis.Thresholds.pp t
+
+let thresholds_cmd =
+  let d_hat =
+    Arg.(value & opt int 30 & info [ "d-hat" ] ~docv:"D" ~doc:"Target expected outdegree.")
+  in
+  let literal =
+    Arg.(
+      value & flag
+      & info [ "literal" ] ~doc:"Use the literal Pr(d>=s) reading of condition (3).")
+  in
+  let doc = "Select dL and s from a target degree and budget (section 6.3)." in
+  Cmd.v (Cmd.info "thresholds" ~doc) Term.(const thresholds $ d_hat $ delta_arg $ literal)
+
+(* --- decay --- *)
+
+let decay loss delta lower_threshold view_size rounds =
+  let p =
+    Sf_analysis.Decay.make_params ~loss ~delta ~lower_threshold ~view_size
+  in
+  Fmt.pr "per-round survival factor: %.5f@." (Sf_analysis.Decay.per_round_survival p);
+  Fmt.pr "rounds to 50%%:             %d@."
+    (Sf_analysis.Decay.rounds_to_fraction p ~fraction:0.5);
+  Fmt.pr "rounds to 1%%:              %d@."
+    (Sf_analysis.Decay.rounds_to_fraction p ~fraction:0.01);
+  Fmt.pr "@.survival bound:@.";
+  let curve = Sf_analysis.Decay.survival_curve p ~rounds in
+  let step = max 1 (rounds / 20) in
+  let i = ref 0 in
+  while !i <= rounds do
+    Fmt.pr "  %4d  %.4f@." !i curve.(!i);
+    i := !i + step
+  done
+
+let decay_cmd =
+  let doc = "Print the Lemma 6.10 decay bound for a departed node's id." in
+  Cmd.v (Cmd.info "decay" ~doc)
+    Term.(
+      const decay $ loss_arg $ delta_arg $ lower_threshold_arg $ view_size_arg
+      $ rounds_arg 500)
+
+(* --- alpha --- *)
+
+let alpha loss delta =
+  Fmt.pr "alpha lower bound (Lemma 7.9):  %.4f@."
+    (Sf_analysis.Dependence.alpha_lower_bound ~loss ~delta);
+  Fmt.pr "dependence MC stationary:       %.4f dependent@."
+    (Sf_analysis.Dependence.stationary_dependent_fraction ~loss ~delta);
+  Fmt.pr "I->D transition bound:          %.4f@."
+    (Sf_analysis.Dependence.to_dependent_probability ~loss ~delta);
+  Fmt.pr "D->I transition bound:          %.4f@."
+    (Sf_analysis.Dependence.to_independent_probability ~loss ~delta)
+
+let alpha_cmd =
+  let doc = "Spatial-independence bounds (section 7.4)." in
+  Cmd.v (Cmd.info "alpha" ~doc) Term.(const alpha $ loss_arg $ delta_arg)
+
+(* --- temporal --- *)
+
+let temporal n view_size expected_outdegree alpha epsilon =
+  let p =
+    Sf_analysis.Temporal.make_params ~n ~view_size ~expected_outdegree ~alpha
+  in
+  Fmt.pr "expected conductance bound (Lemma 7.14): %.5f@."
+    (Sf_analysis.Temporal.expected_conductance_bound p);
+  Fmt.pr "tau_eps (Lemma 7.15):                    %.4e transformations@."
+    (Sf_analysis.Temporal.tau_epsilon p ~epsilon);
+  Fmt.pr "actions per node:                        %.1f@."
+    (Sf_analysis.Temporal.actions_per_node p ~epsilon);
+  Fmt.pr "s ln n:                                  %.1f@."
+    (Sf_analysis.Temporal.headline_scaling p)
+
+let temporal_cmd =
+  let de =
+    Arg.(
+      value & opt float 27. & info [ "de" ] ~docv:"DE" ~doc:"Expected outdegree dE.")
+  in
+  let alpha_v =
+    Arg.(value & opt float 0.96 & info [ "alpha" ] ~docv:"A" ~doc:"Independence fraction.")
+  in
+  let eps =
+    Arg.(value & opt float 0.01 & info [ "epsilon" ] ~docv:"E" ~doc:"Target distance.")
+  in
+  let doc = "Temporal-independence bound tau_eps (section 7.5)." in
+  Cmd.v (Cmd.info "temporal" ~doc)
+    Term.(const temporal $ n_arg $ view_size_arg $ de $ alpha_v $ eps)
+
+(* --- connectivity --- *)
+
+let connectivity loss delta epsilon =
+  let alpha = Sf_analysis.Dependence.alpha_lower_bound ~loss ~delta in
+  match Sf_analysis.Connectivity.minimal_lower_threshold ~alpha ~epsilon () with
+  | Some d ->
+    Fmt.pr "alpha = %.4f -> minimal dL = %d (failure probability %.3e)@." alpha d
+      (Sf_analysis.Connectivity.failure_probability ~lower_threshold:d ~alpha)
+  | None -> Fmt.pr "no threshold below the search cap@."
+
+let connectivity_cmd =
+  let eps =
+    Arg.(
+      value & opt float 1e-30
+      & info [ "epsilon" ] ~docv:"E" ~doc:"Tolerated disconnection probability.")
+  in
+  let doc = "Minimal dL for connectivity (section 7.4 rule)." in
+  Cmd.v (Cmd.info "connectivity" ~doc)
+    Term.(const connectivity $ loss_arg $ delta_arg $ eps)
+
+(* --- churn --- *)
+
+let churn seed n view_size lower_threshold loss rounds =
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  Runner.run_rounds r 200;
+  Fmt.pr "-- leave decay (one victim)@.";
+  let victim, trace = Sf_core.Churn.leave_decay r ~rounds () in
+  Fmt.pr "victim %d had %d instances at departure@." victim trace.(0);
+  let step = max 1 (rounds / 10) in
+  Array.iteri
+    (fun i c -> if i mod step = 0 then Fmt.pr "  round %4d: %d instances@." i c)
+    trace;
+  Fmt.pr "-- join integration@.";
+  let jt = Sf_core.Churn.join_integration r ~rounds in
+  Fmt.pr "joiner %d@." jt.Sf_core.Churn.joiner;
+  Array.iteri
+    (fun i c ->
+      if i mod step = 0 then
+        Fmt.pr "  round %4d: %d instances, outdegree %d@." i c
+          jt.Sf_core.Churn.out_degrees.(i))
+    jt.Sf_core.Churn.instances
+
+let churn_cmd =
+  let doc = "Leave-decay and join-integration experiments (section 6.5)." in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(
+      const churn $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ rounds_arg 200)
+
+(* --- baselines --- *)
+
+let baselines seed n view_size loss rounds =
+  let topology = Topology.regular (Sf_prng.Rng.create (seed + 1)) ~n ~out_degree:(view_size / 2) in
+  let report name total census connected =
+    Fmt.pr "%-28s edges %6d  alpha %.3f  connected %b@." name total
+      census.Census.alpha connected
+  in
+  let run name kind =
+    let b =
+      Sf_core.Baselines.create ~seed ~n ~view_size ~loss_rate:loss ~kind ~topology
+    in
+    Sf_core.Baselines.run_rounds b rounds;
+    report name
+      (Sf_core.Baselines.total_instances b)
+      (Sf_core.Baselines.independence_census b)
+      (Sf_core.Baselines.is_weakly_connected b)
+  in
+  let config = Protocol.make_config ~view_size ~lower_threshold:(max 0 (view_size - 22)) in
+  let r = Runner.create ~seed ~n ~loss_rate:loss ~config ~topology () in
+  Runner.run_rounds r rounds;
+  report "send-and-forget"
+    (Sf_graph.Digraph.edge_count (Runner.membership_graph r))
+    (Properties.independence_census r)
+    (Properties.is_weakly_connected r);
+  run "shuffle" (Sf_core.Baselines.Shuffle { exchange_size = 4 });
+  run "push-pull-keep" (Sf_core.Baselines.Push_pull { gossip_size = 3 });
+  run "push-only" Sf_core.Baselines.Push_only
+
+let baselines_cmd =
+  let doc = "Compare S&F against the section 3.1 baseline protocols." in
+  Cmd.v (Cmd.info "baselines" ~doc)
+    Term.(const baselines $ seed_arg $ n_arg $ view_size_arg $ loss_arg $ rounds_arg 300)
+
+(* --- global-mc --- *)
+
+let global_mc view_size lower_threshold loss =
+  let p = { Sf_analysis.Global_mc.n = 3; view_size; lower_threshold; loss } in
+  let r = Sf_analysis.Global_mc.explore p ~initial:[ [ 1; 2 ]; [ 0; 2 ]; [ 0; 1 ] ] in
+  Fmt.pr "states:                  %d@." (Array.length r.Sf_analysis.Global_mc.states);
+  Fmt.pr "ergodic:                 %b@." r.Sf_analysis.Global_mc.is_ergodic;
+  Fmt.pr "labeled uniformity:      %.6f (max/min; 1 = Lemma 7.5 exact)@."
+    (Sf_analysis.Global_mc.labeled_uniformity_ratio r);
+  Fmt.pr "edge-probability spread: %.6f (1 = Lemma 7.6 exact)@."
+    (Sf_analysis.Global_mc.edge_probability_spread r);
+  Fmt.pr "mean entries:            %.3f@." r.Sf_analysis.Global_mc.mean_entries;
+  Fmt.pr "self-edge fraction:      %.4f@." r.Sf_analysis.Global_mc.self_edge_fraction
+
+let global_mc_cmd =
+  let s = Arg.(value & opt int 6 & info [ "s" ] ~docv:"S" ~doc:"View size (keep tiny).") in
+  let dl = Arg.(value & opt int 0 & info [ "dl" ] ~docv:"DL" ~doc:"Lower threshold.") in
+  let doc = "Exact global Markov chain for a 3-node system (section 7.1)." in
+  Cmd.v (Cmd.info "global-mc" ~doc) Term.(const global_mc $ s $ dl $ loss_arg)
+
+(* --- walk --- *)
+
+let walk seed n view_size lower_threshold loss length attempts =
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  Runner.run_rounds r 200;
+  let rng = Sf_prng.Rng.create (seed + 99) in
+  let stats =
+    Sf_core.Random_walk.sample_statistics r rng ~attempts ~length ~loss_rate:loss
+  in
+  Fmt.pr "attempts:  %d@." stats.Sf_core.Random_walk.attempts;
+  Fmt.pr "completed: %d (%.3f; theory %.3f)@." stats.Sf_core.Random_walk.completed
+    stats.Sf_core.Random_walk.success_rate
+    (Sf_core.Random_walk.success_probability ~length ~loss_rate:loss);
+  Fmt.pr "lost:      %d@." stats.Sf_core.Random_walk.lost;
+  Fmt.pr "dead ends: %d@." stats.Sf_core.Random_walk.dead_ends
+
+let walk_cmd =
+  let length =
+    Arg.(value & opt int 10 & info [ "length" ] ~docv:"L" ~doc:"Walk length in hops.")
+  in
+  let attempts =
+    Arg.(value & opt int 5000 & info [ "attempts" ] ~docv:"K" ~doc:"Number of walks.")
+  in
+  let doc = "Random-walk sampling under loss (section 3.1 comparison)." in
+  Cmd.v (Cmd.info "walk" ~doc)
+    Term.(
+      const walk $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ length $ attempts)
+
+(* --- quality --- *)
+
+let quality seed n view_size lower_threshold loss rounds =
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  Runner.run_rounds r rounds;
+  let g = Runner.membership_graph r in
+  let rng = Sf_prng.Rng.create (seed + 50) in
+  let paths = Sf_graph.Quality.path_statistics ~sources:24 rng g in
+  Fmt.pr "estimated diameter:   %d@." paths.Sf_graph.Quality.estimated_diameter;
+  Fmt.pr "average path length:  %.2f@." paths.Sf_graph.Quality.average_path_length;
+  Fmt.pr "unreachable pairs:    %d@." paths.Sf_graph.Quality.unreachable_pairs;
+  Fmt.pr "clustering coeff.:    %.4f@." (Sf_graph.Quality.clustering_coefficient g);
+  Fmt.pr "robustness (giant component after random removals):@.";
+  List.iter
+    (fun (fraction, giant) -> Fmt.pr "  remove %3.0f%% -> giant %.3f@." (100. *. fraction) giant)
+    (Sf_graph.Quality.robustness_profile rng g
+       ~removal_fractions:[ 0.1; 0.3; 0.5; 0.7 ])
+
+let quality_cmd =
+  let doc = "Expander quality of the steady-state membership graph (section 2)." in
+  Cmd.v (Cmd.info "quality" ~doc)
+    Term.(
+      const quality $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ rounds_arg 300)
+
+(* --- mixing --- *)
+
+let mixing view_size lower_threshold loss =
+  let params = Sf_analysis.Degree_mc.make_params ~view_size ~lower_threshold ~loss () in
+  let r = Sf_analysis.Degree_mc.solve params in
+  let chain = Sf_analysis.Degree_mc.to_chain r in
+  let rng = Sf_prng.Rng.create 7 in
+  let lambda =
+    Sf_markov.Mixing.second_eigenvalue_estimate chain
+      ~stationary:r.Sf_analysis.Degree_mc.joint
+      ~uniform:(fun () -> Sf_prng.Rng.float rng)
+  in
+  Fmt.pr "|lambda2| estimate:  %.5f@." lambda;
+  Fmt.pr "relaxation time:     %s steps@."
+    (if lambda >= 1. then "inf" else Fmt.str "%.1f" (1. /. (1. -. lambda)));
+  let size = Sf_markov.Chain.size chain in
+  let idx = ref 0 in
+  Array.iteri
+    (fun i st -> if st = (lower_threshold, 0) then idx := i)
+    r.Sf_analysis.Degree_mc.states;
+  let profile =
+    Sf_markov.Mixing.distance_profile chain
+      ~initial:(Sf_markov.Chain.point_distribution ~size !idx)
+      ~stationary:r.Sf_analysis.Degree_mc.joint
+      ~checkpoints:[ 0; 100; 200; 400; 800; 1600; 3200 ]
+  in
+  Fmt.pr "TVD to stationarity from the (dL, 0) corner state:@.";
+  Array.iteri
+    (fun i step ->
+      Fmt.pr "  %5d steps: %.4f@." step profile.Sf_markov.Mixing.tv_distances.(i))
+    profile.Sf_markov.Mixing.steps
+
+let mixing_cmd =
+  let doc = "Mixing diagnostics of the degree Markov chain." in
+  Cmd.v (Cmd.info "mixing" ~doc)
+    Term.(const mixing $ view_size_arg $ lower_threshold_arg $ loss_arg)
+
+(* --- udp --- *)
+
+let udp seed n view_size lower_threshold loss duration base_port =
+  let config = Protocol.make_config ~view_size ~lower_threshold in
+  let out_degree =
+    let d = min (n - 1) ((view_size + lower_threshold) / 2) in
+    if d mod 2 = 0 then d else d - 1
+  in
+  let topology = Topology.regular (Sf_prng.Rng.create (seed + 1)) ~n ~out_degree in
+  let c =
+    Sf_net.Cluster.create ~base_port ~n ~config ~loss_rate:loss ~seed ~topology ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Sf_net.Cluster.shutdown c)
+    (fun () ->
+      Fmt.pr "running %d nodes on UDP 127.0.0.1:%d-%d for %.1fs...@." n base_port
+        (base_port + n - 1) duration;
+      Sf_net.Cluster.run c ~duration;
+      let stats = Sf_net.Cluster.statistics c in
+      let outs = Sf_net.Cluster.outdegree_summary c in
+      let census = Sf_net.Cluster.independence_census c in
+      Fmt.pr "actions:     %d@." stats.Sf_net.Cluster.actions;
+      Fmt.pr "datagrams:   %d sent, %d dropped (injected), %d received@."
+        stats.Sf_net.Cluster.datagrams_sent stats.Sf_net.Cluster.datagrams_dropped
+        stats.Sf_net.Cluster.datagrams_received;
+      Fmt.pr "codec errors: %d, send errors: %d@." stats.Sf_net.Cluster.decode_errors
+        stats.Sf_net.Cluster.send_errors;
+      Fmt.pr "outdegree:   %.2f ± %.2f@." (Summary.mean outs) (Summary.std outs);
+      Fmt.pr "alpha:       %.4f@." census.Census.alpha;
+      Fmt.pr "connected:   %b@." (Sf_net.Cluster.is_weakly_connected c))
+
+let udp_cmd =
+  let duration =
+    Arg.(value & opt float 3. & info [ "duration" ] ~docv:"SEC" ~doc:"Wall-clock seconds.")
+  in
+  let base_port =
+    Arg.(value & opt int 47000 & info [ "port" ] ~docv:"PORT" ~doc:"First UDP port.")
+  in
+  let n_small =
+    Arg.(value & opt int 64 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Nodes (<= ~500).")
+  in
+  let doc = "Run S&F over real UDP sockets on the loopback interface." in
+  Cmd.v (Cmd.info "udp" ~doc)
+    Term.(
+      const udp $ seed_arg $ n_small $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ duration $ base_port)
+
+(* --- sessions --- *)
+
+let sessions seed n view_size lower_threshold loss rounds mean_lifetime pareto =
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  Runner.run_rounds r 100;
+  let lifetime =
+    if pareto then
+      (* shape 1.5 with matching mean: minimum = mean / 3. *)
+      Sf_core.Sessions.Pareto { shape = 1.5; minimum = mean_lifetime /. 3. }
+    else Sf_core.Sessions.Exponential mean_lifetime
+  in
+  let arrival_rate = float_of_int n /. mean_lifetime in
+  let driver =
+    Sf_core.Sessions.create ~runner:r ~seed:(seed + 5) ~lifetime ~arrival_rate ()
+  in
+  Fmt.pr "session churn: %s lifetimes, mean %.0f rounds, %.2f arrivals/round@."
+    (if pareto then "Pareto(1.5)" else "exponential")
+    mean_lifetime arrival_rate;
+  Sf_core.Sessions.run driver ~rounds;
+  let stats = Sf_core.Sessions.statistics driver in
+  Fmt.pr "rounds: %d, population: %d, joins: %d, leaves: %d, reconnections: %d@."
+    stats.Sf_core.Sessions.rounds stats.Sf_core.Sessions.population
+    stats.Sf_core.Sessions.joins stats.Sf_core.Sessions.leaves
+    stats.Sf_core.Sessions.reconnections;
+  print_system_state r
+
+let sessions_cmd =
+  let mean =
+    Arg.(value & opt float 200. & info [ "mean-lifetime" ] ~docv:"R"
+           ~doc:"Mean session length in rounds.")
+  in
+  let pareto =
+    Arg.(value & flag & info [ "pareto" ] ~doc:"Heavy-tailed Pareto(1.5) lifetimes.")
+  in
+  let doc = "Run S&F under session-based churn (Poisson arrivals)." in
+  Cmd.v (Cmd.info "sessions" ~doc)
+    Term.(
+      const sessions $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg
+      $ loss_arg $ rounds_arg 400 $ mean $ pareto)
+
+(* --- spread --- *)
+
+let spread seed n view_size lower_threshold loss fanout =
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  Runner.run_rounds r 150;
+  let rng = Sf_prng.Rng.create (seed + 6) in
+  let trace =
+    Sf_core.Dissemination.spread r rng ~fanout ~loss_rate:loss ~source:0 ()
+  in
+  (match trace.Sf_core.Dissemination.rounds_to_half with
+  | Some rounds -> Fmt.pr "rounds to 50%%: %d@." rounds
+  | None -> Fmt.pr "rounds to 50%%: not reached@.");
+  (match trace.Sf_core.Dissemination.rounds_to_all with
+  | Some rounds -> Fmt.pr "rounds to 99%%: %d  (log2 n = %.1f)@." rounds
+                     (log (float_of_int n) /. log 2.)
+  | None -> Fmt.pr "rounds to 99%%: not reached@.");
+  Fmt.pr "pushes: %d@." trace.Sf_core.Dissemination.pushes;
+  Sf_stats.Ascii_plot.series Fmt.stdout
+    ("infected fraction per round", trace.Sf_core.Dissemination.coverage)
+
+let spread_cmd =
+  let fanout =
+    Arg.(value & opt int 2 & info [ "fanout" ] ~docv:"K" ~doc:"Pushes per infected node per round.")
+  in
+  let doc = "Spread a rumor over the evolving views (push epidemic)." in
+  Cmd.v (Cmd.info "spread" ~doc)
+    Term.(
+      const spread $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ fanout)
+
+(* --- main --- *)
+
+let () =
+  let doc = "Send & Forget gossip membership: protocol, analysis, experiments." in
+  let info = Cmd.info "sfg" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        simulate_cmd;
+        degree_mc_cmd;
+        thresholds_cmd;
+        decay_cmd;
+        alpha_cmd;
+        temporal_cmd;
+        connectivity_cmd;
+        churn_cmd;
+        baselines_cmd;
+        global_mc_cmd;
+        walk_cmd;
+        quality_cmd;
+        mixing_cmd;
+        udp_cmd;
+        sessions_cmd;
+        spread_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

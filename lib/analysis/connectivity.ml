@@ -1,0 +1,41 @@
+(* Connectivity conditions (paper, end of section 7.4).
+
+   A membership graph is weakly connected (with high probability) when each
+   node has at least three *independent* out-neighbors [Fenner & Frieze].
+   The number of independent ids in a view is approximately binomial with
+   success probability alpha over the dL guaranteed entries, so for a
+   target failure probability eps the rule is: pick the minimal even dL
+   with
+
+     Pr[ Binomial(dL, alpha) <= 2 ] <= eps.
+
+   The paper's example: loss = delta = 1% (alpha = 0.96), eps = 1e-30
+   requires dL >= 26.  The tail is astronomically small, so the cdf is
+   evaluated in log space. *)
+
+let log_failure_probability ~lower_threshold ~alpha =
+  Sf_stats.Binomial.log_cdf ~n:lower_threshold ~p:alpha 2
+
+let failure_probability ~lower_threshold ~alpha =
+  exp (log_failure_probability ~lower_threshold ~alpha)
+
+(* Minimal even dL guaranteeing at least three independent out-neighbors
+   with probability 1 - eps. *)
+let minimal_lower_threshold ?(max_candidate = 10_000) ~alpha ~epsilon () =
+  if alpha <= 0. || alpha > 1. then
+    invalid_arg "Connectivity.minimal_lower_threshold: bad alpha";
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "Connectivity.minimal_lower_threshold: bad epsilon";
+  let log_eps = log epsilon in
+  let rec search d =
+    if d > max_candidate then None
+    else if log_failure_probability ~lower_threshold:d ~alpha <= log_eps then Some d
+    else search (d + 2)
+  in
+  search 4
+
+(* Convenience wrapper for the paper's parametrization by loss and delta:
+   alpha = 1 - 2 (loss + delta) (Lemma 7.9). *)
+let minimal_lower_threshold_for_loss ?max_candidate ~loss ~delta ~epsilon () =
+  let alpha = Dependence.alpha_lower_bound ~loss ~delta in
+  minimal_lower_threshold ?max_candidate ~alpha ~epsilon ()

@@ -1,0 +1,88 @@
+(* Threshold selection, section 6.3 of the paper.
+
+   Given a target expected outdegree d_hat (application-driven) and a
+   duplication/deletion budget delta, choose the protocol parameters so
+   that, with no loss,
+
+     (1) E(d(u)) = d_hat            (via dm = 3 d_hat, Lemma 6.3)
+     (2) duplication is rare        (outdegree rarely sits at dL)
+     (3) deletion is rare           (outdegree rarely needs to exceed s)
+
+   using the analytic outdegree distribution of equation (6.1):
+
+     dL = max { d' even in [0, d_hat]  : Pr(d <= d') <= delta }
+     s  = min { d' even in [d_hat, dm] : Pr(d >  d') <= delta }
+
+   On the upper side we read the paper's condition "Pr(d(u) >= s) < delta"
+   as the probability of the *deletion event*: a deletion substitutes for
+   the outdegree exceeding s (a full view receiving a message would go to
+   s + 2), so the relevant unconstrained tail is Pr(d > s).  This
+   event-based reading reproduces the paper's example exactly
+   (d_hat = 30, delta = 0.01 -> dL = 18, s = 40); the literal symmetric
+   reading Pr(d >= s) <= delta gives s = 42 instead and is available as
+   [select_literal] for comparison. *)
+
+type t = {
+  d_hat : int;              (* target expected outdegree *)
+  delta : float;            (* duplication/deletion probability budget *)
+  dm : int;                 (* implied uniform sum degree, 3 * d_hat *)
+  lower_threshold : int;    (* dL *)
+  view_size : int;          (* s *)
+  p_at_or_below_lower : float;  (* Pr(d <= dL) under (6.1) *)
+  p_above_size : float;         (* Pr(d > s) under (6.1) *)
+}
+
+let validate ~d_hat ~delta =
+  if d_hat <= 0 || d_hat mod 2 <> 0 then
+    invalid_arg "Thresholds.select: d_hat must be positive and even";
+  if delta <= 0. || delta >= 0.5 then
+    invalid_arg "Thresholds.select: delta must lie in (0, 0.5)"
+
+let lower_threshold_of dist ~d_hat ~delta =
+  let best = ref 0 in
+  let d = ref 0 in
+  while !d <= d_hat do
+    if Sf_stats.Pmf.cdf dist !d <= delta then best := !d;
+    d := !d + 2
+  done;
+  !best
+
+let view_size_of dist ~d_hat ~dm ~delta ~tail =
+  let found = ref dm in
+  let d = ref dm in
+  while !d >= d_hat do
+    if tail dist !d <= delta then found := !d;
+    d := !d - 2
+  done;
+  !found
+
+let build ~d_hat ~delta ~tail =
+  validate ~d_hat ~delta;
+  let dm = 3 * d_hat in
+  let dist = Analytic.outdegree_distribution ~dm in
+  let lower_threshold = lower_threshold_of dist ~d_hat ~delta in
+  let view_size = view_size_of dist ~d_hat ~dm ~delta ~tail in
+  {
+    d_hat;
+    delta;
+    dm;
+    lower_threshold;
+    view_size;
+    p_at_or_below_lower = Sf_stats.Pmf.cdf dist lower_threshold;
+    p_above_size = Sf_stats.Pmf.ccdf dist (view_size + 1);
+  }
+
+let select ~d_hat ~delta =
+  build ~d_hat ~delta ~tail:(fun dist d -> Sf_stats.Pmf.ccdf dist (d + 1))
+
+let select_literal ~d_hat ~delta =
+  build ~d_hat ~delta ~tail:(fun dist d -> Sf_stats.Pmf.ccdf dist d)
+
+let to_config t =
+  Sf_core.Protocol.make_config ~view_size:t.view_size ~lower_threshold:t.lower_threshold
+
+let pp ppf t =
+  Fmt.pf ppf
+    "d_hat=%d delta=%.3f -> dL=%d s=%d  (Pr(d<=dL)=%.4f, Pr(d>s)=%.4f)"
+    t.d_hat t.delta t.lower_threshold t.view_size t.p_at_or_below_lower
+    t.p_above_size

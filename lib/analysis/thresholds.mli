@@ -1,0 +1,27 @@
+(** Protocol threshold selection (paper, section 6.3): choose dL and s from
+    a target expected outdegree and a duplication/deletion budget. *)
+
+type t = {
+  d_hat : int;
+  delta : float;
+  dm : int;                     (** 3 * d_hat (Lemma 6.3) *)
+  lower_threshold : int;        (** selected dL *)
+  view_size : int;              (** selected s *)
+  p_at_or_below_lower : float;  (** Pr(d <= dL) under eq. (6.1) *)
+  p_above_size : float;         (** Pr(d > s) under eq. (6.1) *)
+}
+
+val select : d_hat:int -> delta:float -> t
+(** Event-based reading of the deletion condition (Pr(d > s) <= delta),
+    which reproduces the paper's example: [select ~d_hat:30 ~delta:0.01]
+    yields dL = 18, s = 40. *)
+
+val select_literal : d_hat:int -> delta:float -> t
+(** Literal symmetric reading (Pr(d >= s) <= delta); gives s = 42 on the
+    paper's example. *)
+
+val to_config : t -> Sf_core.Protocol.config
+(** Package as a protocol configuration (validates the s >= 6 / dL <= s-6
+    constraints). *)
+
+val pp : Format.formatter -> t -> unit

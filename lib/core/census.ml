@@ -1,0 +1,57 @@
+(* Dependence census over a collection of views — the mechanical realization
+   of the paper's edge labelling (section 2): an entry is dependent when it
+   is a self-edge, an instance anchored by a duplication (the sender
+   retained a correlated copy), or a redundant parallel instance (second and
+   later copies of an id within one view).  The union of the three labels is
+   a conservative over-estimate of the paper's "all but one of mutually
+   dependent edges" rule. *)
+
+type t = {
+  total_entries : int;
+  self_edges : int;
+  anchored : int;
+  parallel_surplus : int;
+  dependent_entries : int;
+  alpha : float;  (* measured fraction of independent entries *)
+}
+
+let of_views views =
+  let total = ref 0 in
+  let self_edges = ref 0 in
+  let anchored = ref 0 in
+  let parallel = ref 0 in
+  let dependent = ref 0 in
+  let seen = Hashtbl.create 64 in
+  Seq.iter
+    (fun (owner, view) ->
+      Hashtbl.reset seen;
+      View.iter
+        (fun _ e ->
+          incr total;
+          let is_self = e.View.id = owner in
+          let is_anchored = e.View.anchor <> None in
+          let is_parallel = Hashtbl.mem seen e.View.id in
+          Hashtbl.replace seen e.View.id ();
+          if is_self then incr self_edges;
+          if is_anchored then incr anchored;
+          if is_parallel then incr parallel;
+          if is_self || is_anchored || is_parallel then incr dependent)
+        view)
+    views;
+  let alpha =
+    if !total = 0 then 1.
+    else 1. -. (float_of_int !dependent /. float_of_int !total)
+  in
+  {
+    total_entries = !total;
+    self_edges = !self_edges;
+    anchored = !anchored;
+    parallel_surplus = !parallel;
+    dependent_entries = !dependent;
+    alpha;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "entries=%d self=%d anchored=%d parallel=%d dependent=%d alpha=%.4f"
+    t.total_entries t.self_edges t.anchored t.parallel_surplus t.dependent_entries
+    t.alpha

@@ -1,0 +1,105 @@
+(* Churn experiments (paper, section 6.5): how fast do ids of departed nodes
+   decay out of views (Lemma 6.10, Fig 6.4), and how fast does a joiner
+   build representation (Lemmas 6.11-6.13, Corollary 6.14)? *)
+
+(* Remove [victim] (or a random live node) and track the number of instances
+   of its id remaining in live views after each round.  Returns the trace
+   including round 0 (the count at the instant of departure). *)
+let leave_decay runner ?victim ~rounds () =
+  let victim_id =
+    match victim with
+    | Some id -> id
+    | None -> (Runner.random_live_node runner).Protocol.node_id
+  in
+  (match Runner.remove_node runner victim_id with
+  | Some _ -> ()
+  | None -> invalid_arg "Churn.leave_decay: victim not live");
+  let trace = Array.make (rounds + 1) 0 in
+  trace.(0) <- Runner.count_id_instances runner victim_id;
+  for r = 1 to rounds do
+    Runner.run_rounds runner 1;
+    trace.(r) <- Runner.count_id_instances runner victim_id
+  done;
+  (victim_id, trace)
+
+(* Average several independent leave-decay traces into survival fractions
+   (instances remaining / instances at departure), resampling a fresh victim
+   per repetition from the same running system. *)
+let leave_decay_fractions runner ~repetitions ~rounds =
+  let sums = Array.make (rounds + 1) 0. in
+  let used = ref 0 in
+  for _ = 1 to repetitions do
+    let _, trace = leave_decay runner ~rounds () in
+    if trace.(0) > 0 then begin
+      incr used;
+      let base = float_of_int trace.(0) in
+      Array.iteri (fun i c -> sums.(i) <- sums.(i) +. (float_of_int c /. base)) trace
+    end
+  done;
+  if !used = 0 then invalid_arg "Churn.leave_decay_fractions: no usable victims";
+  Array.map (fun x -> x /. float_of_int !used) sums
+
+type join_trace = {
+  joiner : int;
+  instances : int array;   (* instances of the joiner's id, per round *)
+  out_degrees : int array; (* the joiner's outdegree, per round *)
+}
+
+(* Add a node bootstrapped with dL ids copied from a live view (the paper's
+   joining rule) and track its integration. *)
+let join_integration runner ~rounds =
+  let config = Runner.config runner in
+  let bootstrap_size = max 2 config.Protocol.lower_threshold in
+  let bootstrap = Runner.bootstrap_from runner ~count:bootstrap_size in
+  let joiner = Runner.add_node runner ~bootstrap in
+  let instances = Array.make (rounds + 1) 0 in
+  let out_degrees = Array.make (rounds + 1) 0 in
+  let record r =
+    instances.(r) <- Runner.count_id_instances runner joiner;
+    out_degrees.(r) <-
+      (match Runner.find_node runner joiner with
+      | Some node -> Protocol.degree node
+      | None -> 0)
+  in
+  record 0;
+  for r = 1 to rounds do
+    Runner.run_rounds runner 1;
+    record r
+  done;
+  { joiner; instances; out_degrees }
+
+(* Continuous-churn driver: every round, [leaves] random nodes depart and
+   [joins] new nodes arrive (bootstrapped from live views).  Used to check
+   that the protocol keeps the graph connected and balanced under sustained
+   membership change.  With [recover] set, starved nodes (whose neighbors
+   have all departed) invoke the section 5 reconnection rule each round;
+   the return value counts the reconnection attempts made. *)
+let run_with_churn ?(recover = false) runner ~rounds ~joins ~leaves =
+  let reconnections = ref 0 in
+  for _ = 1 to rounds do
+    for _ = 1 to leaves do
+      if Runner.live_count runner > 2 * (joins + leaves) then begin
+        let victim = (Runner.random_live_node runner).Protocol.node_id in
+        ignore (Runner.remove_node runner victim)
+      end
+    done;
+    for _ = 1 to joins do
+      let config = Runner.config runner in
+      let count = max 2 config.Protocol.lower_threshold in
+      let bootstrap = Runner.bootstrap_from runner ~count in
+      ignore (Runner.add_node runner ~bootstrap)
+    done;
+    if recover then
+      List.iter
+        (fun node ->
+          incr reconnections;
+          match Runner.reconnect runner ~node_id:node.Protocol.node_id with
+          | Runner.Reconnected _ -> ()
+          | Runner.Exhausted _ ->
+            (* Every previously seen id is dead: fall back to the
+               out-of-band bootstrap service. *)
+            ignore (Runner.rebootstrap runner ~node_id:node.Protocol.node_id))
+        (Runner.isolated_nodes runner);
+    Runner.run_rounds runner 1
+  done;
+  !reconnections

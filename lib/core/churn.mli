@@ -1,0 +1,26 @@
+(** Churn experiments (paper, section 6.5): decay of departed ids and
+    integration of joiners. All functions advance the runner. *)
+
+val leave_decay : Runner.t -> ?victim:int -> rounds:int -> unit -> int * int array
+(** Remove a node and track instances of its id per round; returns
+    (victim id, trace with index 0 = count at departure). *)
+
+val leave_decay_fractions : Runner.t -> repetitions:int -> rounds:int -> float array
+(** Average survival fractions over several leave events — the empirical
+    counterpart of the Lemma 6.10 bound (Fig 6.4). *)
+
+type join_trace = {
+  joiner : int;
+  instances : int array;
+  out_degrees : int array;
+}
+
+val join_integration : Runner.t -> rounds:int -> join_trace
+(** Join a node bootstrapped with dL copied ids and track its id instances
+    and outdegree per round (Lemmas 6.11-6.13, Corollary 6.14). *)
+
+val run_with_churn :
+  ?recover:bool -> Runner.t -> rounds:int -> joins:int -> leaves:int -> int
+(** Sustained churn: per round, [leaves] departures and [joins] arrivals.
+    With [recover], starved nodes reconnect via the section 5 rule each
+    round; returns the number of reconnection attempts. *)

@@ -1,0 +1,65 @@
+(* Rumor dissemination over membership views — the application the paper's
+   Property M1 discussion motivates ("logarithmic size views are used in
+   order to ensure fast dissemination of gossiped information [13]").
+
+   A push epidemic: starting from one infected node, each round every
+   infected node pushes the rumor to [fanout] ids drawn from its *current*
+   view; each push is a message subject to the ambient loss rate.  On a
+   uniform evolving membership the rumor reaches everyone in O(log n)
+   rounds; on a structured topology (ring) it crawls.
+
+   The dissemination runs interleaved with the membership protocol, so the
+   views it reads are the live, evolving ones. *)
+
+type trace = {
+  rounds_to_half : int option;
+  rounds_to_all : int option;        (* to [coverage_target] of live nodes *)
+  coverage : float array;            (* infected fraction per round *)
+  pushes : int;
+}
+
+let spread ?(coverage_target = 0.99) ?(max_rounds = 200) runner rng ~fanout ~loss_rate
+    ~source () =
+  let infected = Hashtbl.create 1024 in
+  Hashtbl.replace infected source ();
+  let pushes = ref 0 in
+  let coverage = ref [] in
+  let fraction () =
+    float_of_int (Hashtbl.length infected)
+    /. float_of_int (max 1 (Runner.live_count runner))
+  in
+  let rounds_to_half = ref None and rounds_to_all = ref None in
+  let round = ref 0 in
+  while !rounds_to_all = None && !round < max_rounds do
+    incr round;
+    (* The membership keeps evolving underneath. *)
+    Runner.run_rounds runner 1;
+    (* Every infected node pushes to fanout targets from its current view. *)
+    let currently_infected =
+      Hashtbl.fold (fun id () acc -> id :: acc) infected []
+    in
+    List.iter
+      (fun id ->
+        match Runner.find_node runner id with
+        | None -> () (* infected node left *)
+        | Some node ->
+          let targets = Sampling.sample_many runner rng ~node_id:node.Protocol.node_id ~k:fanout in
+          List.iter
+            (fun target ->
+              incr pushes;
+              if not (Sf_prng.Rng.bernoulli rng loss_rate) then
+                if Runner.find_node runner target <> None then
+                  Hashtbl.replace infected target ())
+            targets)
+      currently_infected;
+    let f = fraction () in
+    coverage := f :: !coverage;
+    if !rounds_to_half = None && f >= 0.5 then rounds_to_half := Some !round;
+    if !rounds_to_all = None && f >= coverage_target then rounds_to_all := Some !round
+  done;
+  {
+    rounds_to_half = !rounds_to_half;
+    rounds_to_all = !rounds_to_all;
+    coverage = Array.of_list (List.rev !coverage);
+    pushes = !pushes;
+  }

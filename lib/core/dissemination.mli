@@ -1,0 +1,25 @@
+(** Push-epidemic rumor spreading over the evolving membership views — the
+    dissemination workload that motivates small uniform views (Property M1
+    discussion). Advances the runner. *)
+
+type trace = {
+  rounds_to_half : int option;
+  rounds_to_all : int option;
+  coverage : float array;  (** infected fraction after each round *)
+  pushes : int;            (** total push messages sent *)
+}
+
+val spread :
+  ?coverage_target:float ->
+  ?max_rounds:int ->
+  Runner.t ->
+  Sf_prng.Rng.t ->
+  fanout:int ->
+  loss_rate:float ->
+  source:int ->
+  unit ->
+  trace
+(** Spread a rumor from [source]: each round every infected node pushes to
+    [fanout] peers sampled from its current view; pushes are lost with
+    [loss_rate]. Stops at [coverage_target] (default 0.99) of live nodes or
+    [max_rounds]. *)

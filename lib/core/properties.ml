@@ -1,0 +1,147 @@
+(* Monitors for the membership-service properties of section 2.
+
+   M1 (small views) is a configuration fact; the monitors here measure the
+   behavioural properties on live systems:
+
+   - M2 load balance: the variance of node indegrees.
+   - M3 uniformity: appearance counts of each id across views, accumulated
+     over well-spaced snapshots, tested against uniformity by chi-square.
+   - M4 spatial independence: a census of dependent view entries.  An entry
+     is counted dependent when it is a self-edge, an instance anchored by a
+     duplication (see {!View}), or a redundant parallel instance (the
+     second and later copies of the same id in a view).  This is the
+     mechanical union of the paper's dependence labels, so the resulting
+     fraction is a conservative over-estimate of dependence.
+   - M5 temporal independence: the fraction of instances surviving from a
+     reference snapshot, which decays as views evolve. *)
+
+(* M2: summary of live-node indegrees; the load-balance property holds when
+   the variance stays bounded as the system runs. *)
+let indegree_summary runner =
+  let live = Runner.live_nodes runner in
+  let counts = Hashtbl.create (2 * Array.length live) in
+  Array.iter
+    (fun node ->
+      View.iter
+        (fun _ e ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt counts e.View.id) in
+          Hashtbl.replace counts e.View.id (c + 1))
+        node.Protocol.view)
+    live;
+  let summary = Sf_stats.Summary.create () in
+  Array.iter
+    (fun node ->
+      let din =
+        Option.value ~default:0 (Hashtbl.find_opt counts node.Protocol.node_id)
+      in
+      Sf_stats.Summary.add_int summary din)
+    live;
+  summary
+
+let outdegree_summary runner =
+  let summary = Sf_stats.Summary.create () in
+  Array.iter
+    (fun node -> Sf_stats.Summary.add_int summary (Protocol.degree node))
+    (Runner.live_nodes runner);
+  summary
+
+let outdegree_samples runner =
+  Array.map Protocol.degree (Runner.live_nodes runner)
+
+let indegree_samples runner =
+  let live = Runner.live_nodes runner in
+  let index = Hashtbl.create (2 * Array.length live) in
+  Array.iteri (fun i node -> Hashtbl.replace index node.Protocol.node_id i) live;
+  let counts = Array.make (Array.length live) 0 in
+  Array.iter
+    (fun node ->
+      View.iter
+        (fun _ e ->
+          match Hashtbl.find_opt index e.View.id with
+          | Some i -> counts.(i) <- counts.(i) + 1
+          | None -> () (* departed node's id *))
+        node.Protocol.view)
+    live;
+  counts
+
+(* M3: accumulate per-id appearance counts over [snapshots] spaced
+   [actions_between] global actions apart, then chi-square them against the
+   uniform expectation.  Self-appearances are excluded: Lemma 7.6 proves
+   uniformity only over v <> u. *)
+let uniformity_test runner ~snapshots ~actions_between =
+  let live = Runner.live_nodes runner in
+  let index = Hashtbl.create (2 * Array.length live) in
+  Array.iteri (fun i node -> Hashtbl.replace index node.Protocol.node_id i) live;
+  let counts = Array.make (Array.length live) 0. in
+  for _ = 1 to snapshots do
+    Runner.run_actions runner actions_between;
+    Array.iter
+      (fun node ->
+        View.iter
+          (fun _ e ->
+            if e.View.id <> node.Protocol.node_id then
+              match Hashtbl.find_opt index e.View.id with
+              | Some i -> counts.(i) <- counts.(i) +. 1.
+              | None -> ())
+          node.Protocol.view)
+      (Runner.live_nodes runner)
+  done;
+  (counts, Sf_stats.Hypothesis.chi_square_uniform counts)
+
+(* M4: dependence census, delegated to the generic {!Census} so the same
+   labelling applies to baseline protocols. *)
+let independence_census runner =
+  let views =
+    Array.to_seq (Runner.live_nodes runner)
+    |> Seq.map (fun node -> (node.Protocol.node_id, node.Protocol.view))
+  in
+  Census.of_views views
+
+(* M5: snapshot the serial numbers of all current instances, then report the
+   fraction still present after each block of rounds.  Under temporal
+   independence this decays geometrically; Lemma 6.9 bounds the per-round
+   survival by 1 - (1-loss-delta) dL / s^2. *)
+let overlap_decay runner ~blocks ~rounds_per_block =
+  let snapshot = Hashtbl.create 4096 in
+  Array.iter
+    (fun node ->
+      View.iter (fun _ e -> Hashtbl.replace snapshot e.View.serial ()) node.Protocol.view)
+    (Runner.live_nodes runner);
+  let initial = Hashtbl.length snapshot in
+  let fraction_surviving () =
+    if initial = 0 then 0.
+    else begin
+      let surviving = ref 0 in
+      Array.iter
+        (fun node ->
+          View.iter
+            (fun _ e -> if Hashtbl.mem snapshot e.View.serial then incr surviving)
+            node.Protocol.view)
+        (Runner.live_nodes runner);
+      float_of_int !surviving /. float_of_int initial
+    end
+  in
+  let points = ref [ (0, 1.) ] in
+  for b = 1 to blocks do
+    Runner.run_rounds runner rounds_per_block;
+    points := (b * rounds_per_block, fraction_surviving ()) :: !points
+  done;
+  List.rev !points
+
+(* Weak connectivity of the current membership graph restricted to live
+   nodes (edges to departed ids are ignored: they cannot carry messages). *)
+let is_weakly_connected runner =
+  let live = Runner.live_nodes runner in
+  let g = Sf_graph.Digraph.create () in
+  let live_ids = Hashtbl.create (2 * Array.length live) in
+  Array.iter (fun node -> Hashtbl.replace live_ids node.Protocol.node_id ()) live;
+  Array.iter
+    (fun node ->
+      Sf_graph.Digraph.ensure_vertex g node.Protocol.node_id;
+      View.iter
+        (fun _ e ->
+          if Hashtbl.mem live_ids e.View.id then
+            Sf_graph.Digraph.add_edge g node.Protocol.node_id e.View.id)
+        node.Protocol.view)
+    live;
+  Sf_graph.Digraph.is_weakly_connected g

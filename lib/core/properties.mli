@@ -1,0 +1,35 @@
+(** Monitors for the membership-service properties of the paper's
+    section 2 (M2 load balance, M3 uniformity, M4 spatial independence,
+    M5 temporal independence). *)
+
+val indegree_summary : Runner.t -> Sf_stats.Summary.t
+(** Summary of live-node indegrees (M2: its variance must stay bounded). *)
+
+val outdegree_summary : Runner.t -> Sf_stats.Summary.t
+
+val outdegree_samples : Runner.t -> int array
+
+val indegree_samples : Runner.t -> int array
+(** Indegree of each live node, counting only entries in live views. *)
+
+val uniformity_test :
+  Runner.t ->
+  snapshots:int ->
+  actions_between:int ->
+  float array * Sf_stats.Hypothesis.chi_square_result
+(** M3: run the system, accumulating per-id appearance counts (excluding
+    self-appearances) over spaced snapshots; chi-square them against
+    uniformity. Advances the runner. *)
+
+val independence_census : Runner.t -> Census.t
+(** M4: census of dependent entries; [alpha] compares against the paper's
+    bound 1 - 2(loss + delta). *)
+
+val overlap_decay :
+  Runner.t -> blocks:int -> rounds_per_block:int -> (int * float) list
+(** M5: fraction of instances surviving from a reference snapshot after each
+    block of rounds ((rounds, fraction) points, starting at (0, 1)).
+    Advances the runner. *)
+
+val is_weakly_connected : Runner.t -> bool
+(** Weak connectivity of the live membership graph. *)

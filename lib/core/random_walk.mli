@@ -1,0 +1,36 @@
+(** Random-walk sampling over the membership graph — the non-local
+    alternative of the paper's section 3.1, for loss-degradation
+    experiments. *)
+
+type walk_result =
+  | Completed of int    (** endpoint id *)
+  | Lost_at_hop of int  (** the i-th hop message was lost *)
+  | Dead_end of int     (** reached an empty view / departed node *)
+
+val walk :
+  Runner.t ->
+  Sf_prng.Rng.t ->
+  start:int ->
+  length:int ->
+  loss_rate:float ->
+  walk_result
+
+type statistics = {
+  attempts : int;
+  completed : int;
+  lost : int;
+  dead_ends : int;
+  success_rate : float;
+  endpoint_counts : (int, int) Hashtbl.t;
+}
+
+val sample_statistics :
+  Runner.t ->
+  Sf_prng.Rng.t ->
+  attempts:int ->
+  length:int ->
+  loss_rate:float ->
+  statistics
+
+val success_probability : length:int -> loss_rate:float -> float
+(** (1 - loss)^length — exponential decay with walk length. *)

@@ -1,0 +1,428 @@
+(* Orchestration of an S&F system.
+
+   Two execution modes mirror the paper's two levels of realism:
+
+   - *Sequential actions* (the analysis model, section 5): a central loop
+     repeatedly picks a uniformly random live node, runs its initiate step,
+     and — if the message survives loss — runs the receive step
+     synchronously.  All reproduction experiments use this mode.
+   - *Timed execution* (the practical implementation the paper sketches):
+     every node initiates on its own periodic or Poisson clock and messages
+     travel through the discrete-event network with latency.  The
+     [ablation_scheduler] bench shows both modes agree on degree behaviour.
+
+   The runner also provides churn (joins and leaves), snapshots of the
+   global membership graph, and the world-level counters used to verify
+   Lemmas 6.6/6.7 (duplication = loss + deletion). *)
+
+type scheduling = Poisson of float | Periodic of float
+
+type t = {
+  config : Protocol.config;
+  scheduler_rng : Sf_prng.Rng.t;  (* picks initiators and timing *)
+  protocol_rng : Sf_prng.Rng.t;   (* slot selections inside nodes *)
+  sim : Sf_engine.Sim.t;
+  network : Protocol.message Sf_engine.Network.t;
+  nodes : (int, Protocol.node) Hashtbl.t;
+  mutable live : Protocol.node array;
+  mutable live_dirty : bool;
+  mutable next_serial : int;
+  mutable actions : int;           (* initiate steps executed *)
+  mutable next_node_id : int;
+  mutable timed : scheduling option;
+  (* World-level counters (survive node removal). *)
+  mutable total_self_loops : int;
+  mutable total_sends : int;
+  mutable total_duplications : int;
+  mutable total_receipts : int;
+  mutable total_deletions : int;
+}
+
+let fresh_serial t () =
+  let s = t.next_serial in
+  t.next_serial <- s + 1;
+  s
+
+let handler t node message =
+  t.total_receipts <- t.total_receipts + 1;
+  match Protocol.receive t.config t.protocol_rng node message with
+  | Protocol.Accepted -> ()
+  | Protocol.Deleted -> t.total_deletions <- t.total_deletions + 1
+
+let install_node t node =
+  Hashtbl.replace t.nodes node.Protocol.node_id node;
+  Sf_engine.Network.register t.network node.Protocol.node_id (handler t node);
+  t.live_dirty <- true
+
+let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ~seed ~n
+    ~loss_rate ~config ~topology () =
+  let root = Sf_prng.Rng.create seed in
+  let scheduler_rng = Sf_prng.Rng.split root in
+  let protocol_rng = Sf_prng.Rng.split root in
+  let network_rng = Sf_prng.Rng.split root in
+  let sim = Sf_engine.Sim.create () in
+  let network =
+    Sf_engine.Network.create ~latency ?destination_loss ~sim ~rng:network_rng ~loss_rate ()
+  in
+  let t =
+    {
+      config;
+      scheduler_rng;
+      protocol_rng;
+      sim;
+      network;
+      nodes = Hashtbl.create (2 * n);
+      live = [||];
+      live_dirty = true;
+      next_serial = 0;
+      actions = 0;
+      next_node_id = n;
+      timed = None;
+      total_self_loops = 0;
+      total_sends = 0;
+      total_duplications = 0;
+      total_receipts = 0;
+      total_deletions = 0;
+    }
+  in
+  for u = 0 to n - 1 do
+    let node = Protocol.create_node ~config ~node_id:u in
+    List.iter
+      (fun v ->
+        match View.random_empty_slot node.Protocol.view t.protocol_rng with
+        | None -> invalid_arg "Runner.create: topology exceeds view size"
+        | Some slot ->
+          View.set node.Protocol.view slot
+            { View.id = v; serial = fresh_serial t (); anchor = None; born = 0 })
+      (topology u);
+    install_node t node
+  done;
+  t
+
+let config t = t.config
+let action_count t = t.actions
+let live_count t = Hashtbl.length t.nodes
+let network_statistics t = Sf_engine.Network.statistics t.network
+let simulator t = t.sim
+
+let live_nodes t =
+  if t.live_dirty then begin
+    t.live <- Array.of_seq (Hashtbl.to_seq_values t.nodes);
+    (* Sort by id so the array layout — and hence random node picks — do not
+       depend on hash-table iteration order. *)
+    Array.sort (fun a b -> compare a.Protocol.node_id b.Protocol.node_id) t.live;
+    t.live_dirty <- false
+  end;
+  t.live
+
+let find_node t id = Hashtbl.find_opt t.nodes id
+
+let random_live_node t =
+  let live = live_nodes t in
+  if Array.length live = 0 then invalid_arg "Runner.random_live_node: no live nodes";
+  Sf_prng.Rng.choose t.scheduler_rng live
+
+(* One initiate step at [node]; the transport depends on the mode. *)
+let initiate_at t ~synchronous node =
+  let result =
+    Protocol.initiate t.config t.protocol_rng ~fresh_serial:(fresh_serial t)
+      ~clock:t.actions node
+  in
+  t.actions <- t.actions + 1;
+  (match result with
+  | Protocol.Self_loop -> t.total_self_loops <- t.total_self_loops + 1
+  | Protocol.Send { destination; message; duplicated } ->
+    t.total_sends <- t.total_sends + 1;
+    if duplicated then t.total_duplications <- t.total_duplications + 1;
+    if synchronous then
+      ignore (Sf_engine.Network.send_immediate t.network ~dst:destination message)
+    else Sf_engine.Network.send t.network ~dst:destination message);
+  result
+
+(* --- Sequential-action mode --- *)
+
+let step t = ignore (initiate_at t ~synchronous:true (random_live_node t))
+
+let run_actions t k =
+  for _ = 1 to k do
+    step t
+  done
+
+(* A round = as many actions as live nodes (each node initiates once in
+   expectation), the paper's round definition in section 6.5. *)
+let run_rounds t rounds =
+  for _ = 1 to rounds do
+    run_actions t (live_count t)
+  done
+
+(* --- Timed mode --- *)
+
+let schedule_node t scheduling node =
+  let delay () =
+    match scheduling with
+    | Poisson rate -> Sf_prng.Rng.exponential t.scheduler_rng rate
+    | Periodic period ->
+      (* Jitter the period slightly: loosely synchronized nodes. *)
+      period *. (0.95 +. (0.1 *. Sf_prng.Rng.float t.scheduler_rng))
+  in
+  let rec tick () =
+    (* The node may have left since this event was scheduled. *)
+    if Hashtbl.mem t.nodes node.Protocol.node_id then begin
+      ignore (initiate_at t ~synchronous:false node);
+      Sf_engine.Sim.schedule t.sim ~delay:(delay ()) tick
+    end
+  in
+  Sf_engine.Sim.schedule t.sim ~delay:(delay ()) tick
+
+let start_timed t scheduling =
+  if t.timed <> None then invalid_arg "Runner.start_timed: already started";
+  t.timed <- Some scheduling;
+  Array.iter (schedule_node t scheduling) (live_nodes t)
+
+let run_until t horizon =
+  ignore (Sf_engine.Sim.run ~horizon t.sim)
+
+(* --- Churn --- *)
+
+let add_node t ~bootstrap =
+  let id = t.next_node_id in
+  t.next_node_id <- id + 1;
+  let node = Protocol.create_node ~config:t.config ~node_id:id in
+  List.iter
+    (fun v ->
+      match View.random_empty_slot node.Protocol.view t.protocol_rng with
+      | None -> invalid_arg "Runner.add_node: bootstrap exceeds view size"
+      | Some slot ->
+        View.set node.Protocol.view slot
+          { View.id = v; serial = fresh_serial t (); anchor = None; born = t.actions })
+    bootstrap;
+  install_node t node;
+  (match t.timed with Some s -> schedule_node t s node | None -> ());
+  id
+
+let remove_node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> None
+  | Some node ->
+    Hashtbl.remove t.nodes id;
+    Sf_engine.Network.unregister t.network id;
+    t.live_dirty <- true;
+    Some node
+
+(* Bootstrap ids for a joiner: a copy of (a prefix of) a random live node's
+   view — the joining rule the paper suggests in section 5.  The paper
+   requires the joiner to know ids of *live* nodes, so entries pointing at
+   departed nodes are filtered out (a joiner that only knows dead ids would
+   start disconnected); the donor's own id fills any shortfall. *)
+let bootstrap_from t ~count =
+  let donor = random_live_node t in
+  let live ids = List.filter (fun id -> Hashtbl.mem t.nodes id) ids in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  let ids = take count (live (View.ids donor.Protocol.view)) in
+  let shortfall = count - List.length ids in
+  if shortfall <= 0 then ids
+  else ids @ List.init shortfall (fun _ -> donor.Protocol.node_id)
+
+(* --- Reconnection (paper, section 5 joining rule) ---
+
+   A node whose neighbors have all departed can no longer exchange ids: its
+   sends go to dead destinations and nobody holds its id.  The paper's
+   remedy is the joining rule: reconnect "by probing previously seen ids".
+   [reconnect] probes the node's seen-cache (then its current view ids) in
+   order; each probe costs a request and a response message, both subject
+   to loss.  The first live, responsive target donates a copy of up to dL
+   ids from its view, which replace the stale view.  Donated entries are
+   copies the donor keeps, so they are anchored at the donor — the same
+   dependence accounting as duplication. *)
+
+type reconnect_result =
+  | Reconnected of { donor : int; probes : int; installed : int }
+  | Exhausted of { probes : int }
+
+let reconnect t ~node_id =
+  match Hashtbl.find_opt t.nodes node_id with
+  | None -> invalid_arg "Runner.reconnect: unknown node"
+  | Some node ->
+    let loss = Sf_engine.Network.loss_rate t.network in
+    let view_ids =
+      List.filter (fun id -> id <> node_id) (View.ids node.Protocol.view)
+    in
+    let candidates =
+      List.sort_uniq compare (node.Protocol.seen_ids @ view_ids)
+      |> List.filter (fun id -> id <> node_id)
+    in
+    (* Preserve seen-cache recency order ahead of view order. *)
+    let ordered =
+      List.filter (fun id -> List.mem id candidates) node.Protocol.seen_ids
+      @ List.filter (fun id -> not (List.mem id node.Protocol.seen_ids)) candidates
+    in
+    let probes = ref 0 in
+    let rec try_candidates = function
+      | [] -> Exhausted { probes = !probes }
+      | candidate :: rest ->
+        incr probes;
+        let request_arrives = not (Sf_prng.Rng.bernoulli t.protocol_rng loss) in
+        (match (request_arrives, Hashtbl.find_opt t.nodes candidate) with
+        | true, Some donor ->
+          let response_arrives = not (Sf_prng.Rng.bernoulli t.protocol_rng loss) in
+          if response_arrives then begin
+            let donated =
+              let rec take k = function
+                | [] -> []
+                | _ when k = 0 -> []
+                | e :: tl -> e :: take (k - 1) tl
+              in
+              take t.config.Protocol.lower_threshold (View.entries donor.Protocol.view)
+            in
+            (* Always at least the donor itself. *)
+            View.clear_all node.Protocol.view;
+            let installed = ref 0 in
+            let install id =
+              match View.random_empty_slot node.Protocol.view t.protocol_rng with
+              | None -> ()
+              | Some slot ->
+                View.set node.Protocol.view slot
+                  {
+                    View.id;
+                    serial = fresh_serial t ();
+                    anchor = Some donor.Protocol.node_id;
+                    born = t.actions;
+                  };
+                incr installed
+            in
+            install donor.Protocol.node_id;
+            List.iter (fun (e : View.entry) -> install e.View.id) donated;
+            (* Keep the outdegree even (Observation 5.1). *)
+            if View.degree node.Protocol.view mod 2 = 1 then
+              install donor.Protocol.node_id;
+            Reconnected
+              { donor = donor.Protocol.node_id; probes = !probes; installed = !installed }
+          end
+          else try_candidates rest
+        | _ -> try_candidates rest)
+    in
+    try_candidates ordered
+
+(* Out-of-band re-bootstrap — the other half of the paper's joining rule
+   ("a node can obtain these ids by copying another node's view").  Models
+   contacting a bootstrap/rendezvous service: a random live donor's view is
+   copied, as for a fresh joiner.  Used when probing previously seen ids is
+   exhausted (e.g. a node that joined and lost all its neighbors before
+   ever receiving a message). *)
+let rebootstrap t ~node_id =
+  match Hashtbl.find_opt t.nodes node_id with
+  | None -> invalid_arg "Runner.rebootstrap: unknown node"
+  | Some node ->
+    let rec pick_donor () =
+      let donor = random_live_node t in
+      if donor.Protocol.node_id <> node_id || live_count t <= 1 then donor
+      else pick_donor ()
+    in
+    let donor = pick_donor () in
+    View.clear_all node.Protocol.view;
+    let installed = ref 0 in
+    let install id =
+      match View.random_empty_slot node.Protocol.view t.protocol_rng with
+      | None -> ()
+      | Some slot ->
+        View.set node.Protocol.view slot
+          {
+            View.id;
+            serial = fresh_serial t ();
+            anchor = Some donor.Protocol.node_id;
+            born = t.actions;
+          };
+        incr installed
+    in
+    let donated =
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | e :: tl -> e :: take (k - 1) tl
+      in
+      take t.config.Protocol.lower_threshold (View.entries donor.Protocol.view)
+      |> List.filter (fun (e : View.entry) ->
+             e.View.id <> node_id && Hashtbl.mem t.nodes e.View.id)
+    in
+    install donor.Protocol.node_id;
+    List.iter (fun (e : View.entry) -> install e.View.id) donated;
+    if View.degree node.Protocol.view mod 2 = 1 then install donor.Protocol.node_id;
+    !installed
+
+(* A node is starved when its view holds no live id: every send is wasted.
+   Starvation is transient while other live nodes still hold the node's id
+   (an incoming message restocks the view); it is permanent — *isolation* —
+   once no instance of the id survives anywhere.  A real node detects
+   isolation by timeout on prolonged silence; the simulator can see both
+   conditions directly. *)
+let is_starved t node =
+  View.fold
+    (fun acc e -> acc && not (Hashtbl.mem t.nodes e.View.id))
+    true node.Protocol.view
+
+let starved_nodes t =
+  Array.to_list (live_nodes t) |> List.filter (is_starved t)
+
+let count_id_instances t id =
+  Array.fold_left
+    (fun acc node -> acc + View.count_id node.Protocol.view id)
+    0 (live_nodes t)
+
+let is_isolated t node =
+  is_starved t node && count_id_instances t node.Protocol.node_id = 0
+
+let isolated_nodes t = List.filter (is_isolated t) (starved_nodes t)
+
+(* --- Measurement --- *)
+
+let membership_graph t =
+  let g = Sf_graph.Digraph.create () in
+  Array.iter
+    (fun node ->
+      Sf_graph.Digraph.ensure_vertex g node.Protocol.node_id;
+      View.iter
+        (fun _ e -> Sf_graph.Digraph.add_edge g node.Protocol.node_id e.View.id)
+        node.Protocol.view)
+    (live_nodes t);
+  g
+
+type world_counters = {
+  actions : int;
+  self_loops : int;
+  sends : int;
+  duplications : int;
+  receipts : int;
+  deletions : int;
+  messages_lost : int;
+}
+
+let world_counters t =
+  let net = Sf_engine.Network.statistics t.network in
+  {
+    actions = t.actions;
+    self_loops = t.total_self_loops;
+    sends = t.total_sends;
+    duplications = t.total_duplications;
+    receipts = t.total_receipts;
+    deletions = t.total_deletions;
+    messages_lost = net.Sf_engine.Network.messages_lost;
+  }
+
+(* Empirical per-send probabilities for the Lemma 6.6 balance check. *)
+type rates = { duplication : float; deletion : float; loss : float }
+
+let rates_since t (baseline : world_counters) =
+  let now = world_counters t in
+  let sends = now.sends - baseline.sends in
+  if sends <= 0 then { duplication = 0.; deletion = 0.; loss = 0. }
+  else
+    let f x = float_of_int x /. float_of_int sends in
+    {
+      duplication = f (now.duplications - baseline.duplications);
+      deletion = f (now.deletions - baseline.deletions);
+      loss = f (now.messages_lost - baseline.messages_lost);
+    }

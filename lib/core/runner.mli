@@ -1,0 +1,117 @@
+(** Orchestration of an S&F system: nodes, lossy network, churn, and
+    measurement.
+
+    Sequential-action mode implements the paper's analysis model (a central
+    scheduler runs one action at a time); timed mode runs each node on its
+    own clock over the discrete-event network. *)
+
+type t
+
+type scheduling =
+  | Poisson of float   (** initiations as a Poisson process with this rate *)
+  | Periodic of float  (** fixed period with small jitter *)
+
+val create :
+  ?latency:(Sf_prng.Rng.t -> float) ->
+  ?destination_loss:(int -> float) ->
+  seed:int ->
+  n:int ->
+  loss_rate:float ->
+  config:Protocol.config ->
+  topology:Topology.t ->
+  unit ->
+  t
+(** Build a system of [n] nodes with the given initial topology. All
+    randomness derives from [seed]. *)
+
+val config : t -> Protocol.config
+
+val action_count : t -> int
+(** Initiate steps executed so far. *)
+
+val live_count : t -> int
+val live_nodes : t -> Protocol.node array
+val find_node : t -> int -> Protocol.node option
+val random_live_node : t -> Protocol.node
+val simulator : t -> Sf_engine.Sim.t
+
+val step : t -> unit
+(** Sequential mode: one global action (random initiator, synchronous
+    delivery unless lost). *)
+
+val run_actions : t -> int -> unit
+
+val run_rounds : t -> int -> unit
+(** One round = [live_count t] actions (paper, section 6.5). *)
+
+val start_timed : t -> scheduling -> unit
+(** Switch to timed mode: every live node initiates on its own clock. *)
+
+val run_until : t -> float -> unit
+(** Timed mode: run the event loop to the given virtual time. *)
+
+val add_node : t -> bootstrap:int list -> int
+(** Join a new node whose view is seeded with [bootstrap]; returns its id. *)
+
+val remove_node : t -> int -> Protocol.node option
+(** Leave/fail: the node stops participating; its id decays out of other
+    views through normal protocol operation. *)
+
+val bootstrap_from : t -> count:int -> int list
+(** Bootstrap ids for a joiner: a prefix of a random live node's view,
+    filtered to live ids (the paper requires joiners to know live nodes);
+    the donor's id fills any shortfall. *)
+
+type reconnect_result =
+  | Reconnected of { donor : int; probes : int; installed : int }
+  | Exhausted of { probes : int }
+
+val reconnect : t -> node_id:int -> reconnect_result
+(** The section 5 reconnection rule: probe previously seen ids (then the
+    current view) over the lossy network until a live node donates a copy
+    of up to dL view entries, which replace the stale view. *)
+
+val rebootstrap : t -> node_id:int -> int
+(** Out-of-band recovery (the "copy another node's view" joining rule):
+    replace the node's view with up to dL entries copied from a random live
+    donor. Returns the number of installed entries. *)
+
+val is_starved : t -> Protocol.node -> bool
+(** No live id in the view (transient while others still hold this node's
+    id; permanent once they do not). *)
+
+val starved_nodes : t -> Protocol.node list
+
+val is_isolated : t -> Protocol.node -> bool
+(** Starved and with no surviving instance of its id anywhere — only
+    reconnection can recover it. *)
+
+val isolated_nodes : t -> Protocol.node list
+
+val membership_graph : t -> Sf_graph.Digraph.t
+(** Snapshot of the global membership multigraph over live nodes (edges to
+    departed ids included — they are real view entries). *)
+
+val count_id_instances : t -> int -> int
+(** Instances of an id across all live views (decays per Lemma 6.10 after
+    the node leaves). *)
+
+val network_statistics : t -> Sf_engine.Network.statistics
+
+type world_counters = {
+  actions : int;
+  self_loops : int;
+  sends : int;
+  duplications : int;
+  receipts : int;
+  deletions : int;
+  messages_lost : int;
+}
+
+val world_counters : t -> world_counters
+
+type rates = { duplication : float; deletion : float; loss : float }
+
+val rates_since : t -> world_counters -> rates
+(** Per-send duplication/deletion/loss rates since a counter baseline — the
+    quantities balanced by Lemma 6.6. *)

@@ -1,0 +1,53 @@
+(* Peer-sampling service facade: the application-facing use of local views
+   (paper, section 1) — applications continuously draw node-id samples for
+   data dissemination, aggregation, or cache placement.  A sample is a
+   uniformly random non-empty entry of the caller's current view; because
+   S&F views are uniform and evolving, repeated samples approach fresh
+   i.i.d. uniform ids (Properties M3-M5). *)
+
+(* One random peer id from the node's view, excluding (by default) the node
+   itself: self-samples are useless to applications. *)
+let sample ?(allow_self = false) runner rng ~node_id =
+  match Runner.find_node runner node_id with
+  | None -> None
+  | Some node ->
+    let candidates =
+      View.fold
+        (fun acc e ->
+          if allow_self || e.View.id <> node_id then e.View.id :: acc else acc)
+        [] node.Protocol.view
+    in
+    (match candidates with
+    | [] -> None
+    | _ ->
+      let arr = Array.of_list candidates in
+      Some (Sf_prng.Rng.choose rng arr))
+
+(* [k] samples with replacement. *)
+let sample_many ?allow_self runner rng ~node_id ~k =
+  let rec go k acc =
+    if k = 0 then acc
+    else
+      match sample ?allow_self runner rng ~node_id with
+      | None -> acc
+      | Some id -> go (k - 1) (id :: acc)
+  in
+  go k []
+
+(* Samples interleaved with protocol progress: draw one sample per node per
+   [rounds_between] rounds, accumulating per-id counts over the whole
+   system.  This is the workload of statistics-gathering applications, and
+   the distribution of the counts measures sampling uniformity end-to-end. *)
+let sampling_census runner rng ~samples_per_node ~rounds_between =
+  let counts = Hashtbl.create 1024 in
+  for _ = 1 to samples_per_node do
+    Runner.run_rounds runner rounds_between;
+    Array.iter
+      (fun node ->
+        match sample runner rng ~node_id:node.Protocol.node_id with
+        | None -> ()
+        | Some id ->
+          Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+      (Runner.live_nodes runner)
+  done;
+  counts

@@ -1,0 +1,27 @@
+(** Peer-sampling service facade over a running S&F system: applications
+    draw random peer ids from evolving local views. *)
+
+val sample :
+  ?allow_self:bool -> Runner.t -> Sf_prng.Rng.t -> node_id:int -> int option
+(** One uniformly random id from the node's current view ([None] for an
+    unknown node or an effectively empty view). Self-ids are excluded unless
+    [allow_self]. *)
+
+val sample_many :
+  ?allow_self:bool ->
+  Runner.t ->
+  Sf_prng.Rng.t ->
+  node_id:int ->
+  k:int ->
+  int list
+(** [k] samples with replacement from the current view. *)
+
+val sampling_census :
+  Runner.t ->
+  Sf_prng.Rng.t ->
+  samples_per_node:int ->
+  rounds_between:int ->
+  (int, int) Hashtbl.t
+(** Per-id counts of samples drawn across the whole system with protocol
+    rounds between draws — an end-to-end uniformity workload. Advances the
+    runner. *)

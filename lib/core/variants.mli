@@ -1,0 +1,45 @@
+(** The optimization variants sketched at the end of the paper's section 5
+    (mark-and-undelete, replace-when-full, batched sends), implemented as a
+    parameterized S&F for ablation experiments. *)
+
+type options = {
+  mark_and_undelete : bool;
+      (** mark sent entries instead of clearing; undelete instead of
+          duplicating at the threshold *)
+  replace_when_full : bool;
+      (** a full receiver overwrites random slots instead of deleting *)
+  batch : int;  (** forwarded ids per message (>= 1); 1 = standard S&F *)
+}
+
+val standard : options
+(** All options off, batch 1 — behaviourally the standard protocol. *)
+
+type t
+
+val create :
+  seed:int ->
+  n:int ->
+  view_size:int ->
+  lower_threshold:int ->
+  loss_rate:float ->
+  options:options ->
+  topology:Topology.t ->
+  t
+
+val step : t -> unit
+val run_rounds : t -> int -> unit
+
+val outdegree_summary : t -> Sf_stats.Summary.t
+val independence_census : t -> Census.t
+val is_weakly_connected : t -> bool
+
+type counters = {
+  actions : int;
+  sends : int;
+  losses : int;
+  duplications : int;
+  undeletions : int;
+  deletions : int;
+}
+
+val counters : t -> counters

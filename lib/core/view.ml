@@ -1,0 +1,98 @@
+(* A local view: a fixed array of [s] slots, each empty or holding one id
+   instance (section 2 of the paper).  Duplicate ids are allowed — the
+   membership graph is a multigraph — and are accounted as dependencies.
+
+   Each stored instance carries bookkeeping that realizes the paper's
+   analysis concepts mechanically:
+   - [serial]: a unique instance number, preserved when the instance is
+     forwarded and fresh when an instance is created (reinforcement or
+     duplication).  Instance decay (Lemma 6.9, Fig 6.4) and temporal
+     independence (Property M5) are measured by following serials.
+   - [anchor]: [Some a] when the instance was created by a duplication at
+     node [a] and is therefore spatially dependent on [a]'s view (Property
+     M4).  Forwarding an instance without duplication clears the anchor,
+     matching the dependence MC of Fig 7.1.
+   - [born]: global action count at creation, for age statistics. *)
+
+type entry = {
+  id : int;
+  serial : int;
+  anchor : int option;
+  born : int;
+}
+
+type t = {
+  slots : entry option array;
+  mutable filled : int;  (* cached count of non-empty slots *)
+}
+
+let create size =
+  if size < 2 then invalid_arg "View.create: size must be at least 2";
+  { slots = Array.make size None; filled = 0 }
+
+let size t = Array.length t.slots
+
+let degree t = t.filled
+(* d(u): the node's outdegree. *)
+
+let is_full t = t.filled = Array.length t.slots
+
+let get t i = t.slots.(i)
+
+let set t i entry =
+  (match t.slots.(i) with
+  | None -> t.filled <- t.filled + 1
+  | Some _ -> ());
+  t.slots.(i) <- Some entry
+
+let clear t i =
+  match t.slots.(i) with
+  | None -> ()
+  | Some _ ->
+    t.slots.(i) <- None;
+    t.filled <- t.filled - 1
+
+let free_slots t = Array.length t.slots - t.filled
+
+(* Uniformly random empty slot; the receive step of S&F places ids in
+   uniformly chosen empty entries. *)
+let random_empty_slot t rng =
+  let free = free_slots t in
+  if free = 0 then None
+  else begin
+    let target = Sf_prng.Rng.int rng free in
+    let rec scan i remaining =
+      match t.slots.(i) with
+      | None when remaining = 0 -> i
+      | None -> scan (i + 1) (remaining - 1)
+      | Some _ -> scan (i + 1) remaining
+    in
+    Some (scan 0 target)
+  end
+
+let iter f t =
+  Array.iteri (fun i slot -> match slot with Some e -> f i e | None -> ()) t.slots
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun _ e -> acc := f !acc e) t;
+  !acc
+
+let ids t = List.rev (fold (fun acc e -> e.id :: acc) [] t)
+
+let mem t id = fold (fun acc e -> acc || e.id = id) false t
+
+let count_id t id = fold (fun acc e -> if e.id = id then acc + 1 else acc) 0 t
+
+let entries t = List.rev (fold (fun acc e -> e :: acc) [] t)
+
+let clear_all t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.filled <- 0
+
+let pp ppf t =
+  let cell ppf = function
+    | None -> Fmt.pf ppf "."
+    | Some e -> Fmt.pf ppf "%d" e.id
+  in
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any " ") cell) t.slots

@@ -1,0 +1,50 @@
+(** Local views: fixed arrays of [s] slots holding id instances
+    (paper, section 2).
+
+    Instances carry a unique [serial] (followed for decay and temporal
+    independence measurements), an optional [anchor] (the node whose view
+    the instance depends on, set by duplication — Property M4), and a [born]
+    action stamp. *)
+
+type entry = {
+  id : int;
+  serial : int;
+  anchor : int option;
+  born : int;
+}
+
+type t
+
+val create : int -> t
+(** [create s] makes an all-empty view of [s] slots. *)
+
+val size : t -> int
+
+val degree : t -> int
+(** d(u): number of non-empty slots. *)
+
+val is_full : t -> bool
+
+val free_slots : t -> int
+
+val get : t -> int -> entry option
+val set : t -> int -> entry -> unit
+val clear : t -> int -> unit
+val clear_all : t -> unit
+
+val random_empty_slot : t -> Sf_prng.Rng.t -> int option
+(** Uniformly random empty slot, [None] when full. *)
+
+val iter : (int -> entry -> unit) -> t -> unit
+(** Iterate non-empty slots as [f slot entry]. *)
+
+val fold : ('a -> entry -> 'a) -> 'a -> t -> 'a
+
+val ids : t -> int list
+(** Ids of all instances, in slot order (with duplicates). *)
+
+val mem : t -> int -> bool
+val count_id : t -> int -> int
+val entries : t -> entry list
+
+val pp : Format.formatter -> t -> unit

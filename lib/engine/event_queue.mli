@@ -1,0 +1,14 @@
+(** Binary min-heap event queue keyed by (time, insertion order), giving
+    deterministic ordering for equal timestamps. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+val peek : 'a t -> (float * 'a) option
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest entry. *)

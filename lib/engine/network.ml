@@ -1,0 +1,103 @@
+(* Point-to-point message layer with uniform i.i.d. loss (the paper's loss
+   model, section 4.1) and configurable delivery latency.  Messages to nodes
+   without a registered handler are counted as lost-to-crash, which is how
+   the churn driver models failed nodes: the id of a dead node stays in
+   views until the protocol erodes it, exactly as in section 6.5.2. *)
+
+type 'msg t = {
+  sim : Sim.t;
+  rng : Sf_prng.Rng.t;
+  loss_rate : float;  (* nominal/mean rate, also the uniform default *)
+  (* Per-destination loss probability, overriding the uniform rate — the
+     non-uniform loss regime the paper's section 4.1 mentions but does not
+     analyze (e.g. nodes behind lossy last-mile links). *)
+  destination_loss : (int -> float) option;
+  latency : Sf_prng.Rng.t -> float;
+  handlers : (int, 'msg -> unit) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable dropped_no_handler : int;
+}
+
+type statistics = {
+  messages_sent : int;
+  messages_delivered : int;
+  messages_lost : int;
+  messages_to_dead_nodes : int;
+}
+
+let default_latency rng = 0.5 +. Sf_prng.Rng.float rng
+(* Uniform in [0.5, 1.5): asynchronous but loosely synchronized, matching the
+   paper's assumption that nodes invoke actions at similar rates. *)
+
+let create ?(latency = default_latency) ?destination_loss ~sim ~rng ~loss_rate () =
+  if loss_rate < 0. || loss_rate > 1. then
+    invalid_arg "Network.create: loss_rate must lie in [0,1]";
+  {
+    sim;
+    rng;
+    loss_rate;
+    destination_loss;
+    latency;
+    handlers = Hashtbl.create 64;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    dropped_no_handler = 0;
+  }
+
+let register t node handler = Hashtbl.replace t.handlers node handler
+
+let unregister t node = Hashtbl.remove t.handlers node
+
+let is_registered t node = Hashtbl.mem t.handlers node
+
+let loss_rate t = t.loss_rate
+
+let drop_probability t ~dst =
+  match t.destination_loss with None -> t.loss_rate | Some f -> f dst
+
+(* Fire-and-forget send: the sender cannot detect loss, so the loss draw
+   happens here and lost messages are simply never scheduled. *)
+let send t ~dst msg =
+  t.sent <- t.sent + 1;
+  if Sf_prng.Rng.bernoulli t.rng (drop_probability t ~dst) then t.lost <- t.lost + 1
+  else
+    let delay = t.latency t.rng in
+    Sim.schedule t.sim ~delay (fun () ->
+        match Hashtbl.find_opt t.handlers dst with
+        | None -> t.dropped_no_handler <- t.dropped_no_handler + 1
+        | Some handler ->
+          t.delivered <- t.delivered + 1;
+          handler msg)
+
+(* Synchronous delivery used by the sequential-action scheduler of the
+   analysis model: the receive step runs immediately (actions are serial).
+   Returns whether the message was delivered to a live handler. *)
+let send_immediate t ~dst msg =
+  t.sent <- t.sent + 1;
+  if Sf_prng.Rng.bernoulli t.rng (drop_probability t ~dst) then begin
+    t.lost <- t.lost + 1;
+    false
+  end
+  else
+    match Hashtbl.find_opt t.handlers dst with
+    | None ->
+      t.dropped_no_handler <- t.dropped_no_handler + 1;
+      false
+    | Some handler ->
+      t.delivered <- t.delivered + 1;
+      handler msg;
+      true
+
+let statistics t =
+  {
+    messages_sent = t.sent;
+    messages_delivered = t.delivered;
+    messages_lost = t.lost;
+    messages_to_dead_nodes = t.dropped_no_handler;
+  }
+
+let observed_loss_rate t =
+  if t.sent = 0 then 0. else float_of_int t.lost /. float_of_int t.sent

@@ -1,0 +1,50 @@
+(** Point-to-point messaging with uniform i.i.d. loss (the paper's loss
+    model). Messages to unregistered destinations model sends to
+    failed/departed nodes. *)
+
+type 'msg t
+
+type statistics = {
+  messages_sent : int;
+  messages_delivered : int;
+  messages_lost : int;
+  messages_to_dead_nodes : int;
+}
+
+val default_latency : Sf_prng.Rng.t -> float
+(** Uniform latency in [0.5, 1.5) time units. *)
+
+val create :
+  ?latency:(Sf_prng.Rng.t -> float) ->
+  ?destination_loss:(int -> float) ->
+  sim:Sim.t ->
+  rng:Sf_prng.Rng.t ->
+  loss_rate:float ->
+  unit ->
+  'msg t
+(** [destination_loss] overrides the uniform [loss_rate] with a
+    per-destination drop probability — the non-uniform loss regime the
+    paper's section 4.1 mentions but leaves unanalyzed. [loss_rate] remains
+    the nominal mean reported by {!loss_rate}. *)
+
+val register : 'msg t -> int -> ('msg -> unit) -> unit
+(** Attach the receive handler of a (live) node. *)
+
+val unregister : 'msg t -> int -> unit
+(** Detach a node's handler — the node has left or failed. *)
+
+val is_registered : 'msg t -> int -> bool
+
+val loss_rate : 'msg t -> float
+
+val send : 'msg t -> dst:int -> 'msg -> unit
+(** Fire-and-forget asynchronous send; lost with probability [loss_rate],
+    otherwise delivered after a latency draw. *)
+
+val send_immediate : 'msg t -> dst:int -> 'msg -> bool
+(** Sequential-action send: runs the receive step synchronously. Returns
+    [true] iff delivered to a live handler. *)
+
+val statistics : 'msg t -> statistics
+
+val observed_loss_rate : 'msg t -> float

@@ -1,0 +1,162 @@
+(* Structural quality of a membership graph — the expander properties that
+   motivate uniform independent views in the paper's section 2: "such
+   choices result in an expander graph, with good connectivity, robustness,
+   and low diameter, ensuring fast and reliable communication".
+
+   Measures (all on the undirected version of the graph, since gossip can
+   travel either way along a membership edge):
+   - eccentricity / diameter / average shortest path, estimated by BFS from
+     a sample of sources;
+   - local clustering coefficient (expanders have nearly none; structured
+     topologies like rings have a lot);
+   - robustness: the giant-component fraction as a growing share of random
+     nodes is removed. *)
+
+module Int_table = Hashtbl.Make (struct
+  type t = int
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+(* Undirected adjacency (distinct neighbors) of a digraph. *)
+let undirected_adjacency g =
+  let adjacency = Int_table.create (2 * Digraph.vertex_count g) in
+  let add u v =
+    if u <> v then begin
+      let set = Option.value ~default:[] (Int_table.find_opt adjacency u) in
+      if not (List.mem v set) then Int_table.replace adjacency u (v :: set)
+    end
+  in
+  List.iter (fun u -> Int_table.replace adjacency u []) (Digraph.vertices g);
+  Digraph.iter_edges
+    (fun u v _ ->
+      add u v;
+      add v u)
+    g;
+  adjacency
+
+(* BFS distances from [source]; unreachable vertices are absent. *)
+let bfs_distances adjacency source =
+  let distance = Int_table.create 64 in
+  Int_table.replace distance source 0;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = Int_table.find distance u in
+    List.iter
+      (fun v ->
+        if not (Int_table.mem distance v) then begin
+          Int_table.replace distance v (du + 1);
+          Queue.push v queue
+        end)
+      (Option.value ~default:[] (Int_table.find_opt adjacency u))
+  done;
+  distance
+
+type path_statistics = {
+  sources_sampled : int;
+  estimated_diameter : int;      (* max eccentricity over sampled sources *)
+  average_path_length : float;
+  unreachable_pairs : int;       (* pairs with no undirected path *)
+}
+
+let path_statistics ?(sources = 32) rng g =
+  let vertices = Array.of_list (Digraph.vertices g) in
+  let n = Array.length vertices in
+  if n = 0 then invalid_arg "Quality.path_statistics: empty graph";
+  let adjacency = undirected_adjacency g in
+  let sample_count = min sources n in
+  let picked = Sf_prng.Rng.sample_indices rng ~n ~k:sample_count in
+  let diameter = ref 0 in
+  let total = ref 0 and pairs = ref 0 and unreachable = ref 0 in
+  Array.iter
+    (fun idx ->
+      let source = vertices.(idx) in
+      let distance = bfs_distances adjacency source in
+      Array.iter
+        (fun v ->
+          if v <> source then
+            match Int_table.find_opt distance v with
+            | Some d ->
+              diameter := max !diameter d;
+              total := !total + d;
+              incr pairs
+            | None -> incr unreachable)
+        vertices)
+    picked;
+  {
+    sources_sampled = sample_count;
+    estimated_diameter = !diameter;
+    average_path_length =
+      (if !pairs = 0 then Float.nan else float_of_int !total /. float_of_int !pairs);
+    unreachable_pairs = !unreachable;
+  }
+
+(* Average local clustering coefficient: for each vertex, the fraction of
+   its (undirected) neighbor pairs that are themselves connected. *)
+let clustering_coefficient g =
+  let adjacency = undirected_adjacency g in
+  let neighbor_sets = Int_table.create (Int_table.length adjacency) in
+  Int_table.iter
+    (fun u neighbors ->
+      let set = Int_table.create (List.length neighbors) in
+      List.iter (fun v -> Int_table.replace set v ()) neighbors;
+      Int_table.replace neighbor_sets u set)
+    adjacency;
+  let total = ref 0. and counted = ref 0 in
+  Int_table.iter
+    (fun _ neighbors ->
+      let k = List.length neighbors in
+      if k >= 2 then begin
+        let links = ref 0 in
+        let arr = Array.of_list neighbors in
+        for i = 0 to k - 1 do
+          let set_i = Int_table.find neighbor_sets arr.(i) in
+          for j = i + 1 to k - 1 do
+            if Int_table.mem set_i arr.(j) then incr links
+          done
+        done;
+        total := !total +. (2. *. float_of_int !links /. float_of_int (k * (k - 1)));
+        incr counted
+      end)
+    adjacency;
+  if !counted = 0 then 0. else !total /. float_of_int !counted
+
+(* Fraction of vertices in the largest weakly connected component after
+   removing each given fraction of vertices uniformly at random.  Returns
+   (fraction_removed, giant_fraction_of_survivors) pairs. *)
+let robustness_profile rng g ~removal_fractions =
+  let vertices = Array.of_list (Digraph.vertices g) in
+  let n = Array.length vertices in
+  if n = 0 then invalid_arg "Quality.robustness_profile: empty graph";
+  let order = Array.copy vertices in
+  Sf_prng.Rng.shuffle rng order;
+  List.map
+    (fun fraction ->
+      if fraction < 0. || fraction >= 1. then
+        invalid_arg "Quality.robustness_profile: fraction must lie in [0,1)";
+      let keep_from = int_of_float (Float.round (fraction *. float_of_int n)) in
+      let removed = Int_table.create keep_from in
+      Array.iteri (fun i v -> if i < keep_from then Int_table.replace removed v ()) order;
+      let survivor = Digraph.create () in
+      Array.iter
+        (fun v -> if not (Int_table.mem removed v) then Digraph.ensure_vertex survivor v)
+        vertices;
+      Digraph.iter_edges
+        (fun u v m ->
+          if (not (Int_table.mem removed u)) && not (Int_table.mem removed v) then
+            for _ = 1 to m do
+              Digraph.add_edge survivor u v
+            done)
+        g;
+      let survivors = Digraph.vertex_count survivor in
+      let giant =
+        List.fold_left
+          (fun acc comp -> max acc (List.length comp))
+          0
+          (Digraph.weakly_connected_components survivor)
+      in
+      ( fraction,
+        if survivors = 0 then 0. else float_of_int giant /. float_of_int survivors ))
+    removal_fractions

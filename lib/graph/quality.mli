@@ -1,0 +1,23 @@
+(** Structural quality of membership graphs: the expander properties (low
+    diameter, no clustering, removal robustness) that uniform independent
+    views are supposed to deliver (paper, section 2). All measures treat
+    the graph as undirected, since gossip traverses membership edges in
+    both directions. *)
+
+type path_statistics = {
+  sources_sampled : int;
+  estimated_diameter : int;      (** max BFS eccentricity over the sample *)
+  average_path_length : float;
+  unreachable_pairs : int;
+}
+
+val path_statistics : ?sources:int -> Sf_prng.Rng.t -> Digraph.t -> path_statistics
+(** BFS from a random sample of sources (default 32). *)
+
+val clustering_coefficient : Digraph.t -> float
+(** Average local clustering coefficient. *)
+
+val robustness_profile :
+  Sf_prng.Rng.t -> Digraph.t -> removal_fractions:float list -> (float * float) list
+(** For each removal fraction, the largest-component share of the surviving
+    vertices after removing that fraction of nodes uniformly at random. *)

@@ -1,0 +1,63 @@
+(* Iterative Tarjan strongly-connected-components algorithm over an adjacency
+   structure given as a function.  Used to check irreducibility of Markov
+   chains (section 3.2 of the paper) without risking stack overflow on the
+   large degree-MC state spaces. *)
+
+type result = {
+  component_of : int array;  (* component index of each vertex *)
+  count : int;               (* number of components *)
+}
+
+let tarjan ~n ~successors =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component_of = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let component_count = ref 0 in
+  (* Explicit DFS frames: (vertex, remaining successors). *)
+  let frames : (int * int list ref) Stack.t = Stack.create () in
+  let push_vertex v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref (successors v)) frames
+  in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      push_vertex root;
+      while not (Stack.is_empty frames) do
+        let v, rest = Stack.top frames in
+        match !rest with
+        | w :: tl ->
+          rest := tl;
+          if index.(w) = -1 then push_vertex w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          ignore (Stack.pop frames);
+          if lowlink.(v) = index.(v) then begin
+            (* v is the root of a component: pop it off the Tarjan stack. *)
+            let rec pop () =
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              component_of.(w) <- !component_count;
+              if w <> v then pop ()
+            in
+            pop ();
+            incr component_count
+          end;
+          (* Propagate lowlink to parent. *)
+          if not (Stack.is_empty frames) then begin
+            let parent, _ = Stack.top frames in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+      done
+    end
+  done;
+  { component_of; count = !component_count }
+
+let is_strongly_connected ~n ~successors =
+  n <= 1 || (tarjan ~n ~successors).count = 1

@@ -1,0 +1,11 @@
+(** Strongly connected components (iterative Tarjan). *)
+
+type result = {
+  component_of : int array;  (** component index of each vertex *)
+  count : int;               (** number of components *)
+}
+
+val tarjan : n:int -> successors:(int -> int list) -> result
+(** Components of the directed graph on vertices [0..n-1]. *)
+
+val is_strongly_connected : n:int -> successors:(int -> int list) -> bool

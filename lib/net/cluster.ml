@@ -1,0 +1,230 @@
+(* A real deployment of S&F over UDP: every node owns a datagram socket
+   bound to 127.0.0.1 on its own port, messages travel as actual datagrams,
+   and nodes initiate on jittered periodic timers — the "practical
+   implementation" the paper sketches in section 5, running on a real
+   network stack instead of the discrete-event simulator.
+
+   The driver multiplexes all node sockets in one process with
+   [Unix.select]: wait for readable sockets or the next timer, drain
+   datagrams (sockets are non-blocking), decode and run the receive step,
+   then run the initiate steps that have come due.  Send-side loss
+   injection keeps loss experiments controlled even though loopback UDP
+   rarely drops on its own.
+
+   Fire-and-forget UDP matches S&F's assumptions exactly: no connection
+   state, no retransmission, the sender never learns whether the message
+   arrived. *)
+
+type node_state = {
+  node : Sf_core.Protocol.node;
+  socket : Unix.file_descr;
+  port : int;
+  mutable next_fire : float;
+}
+
+type t = {
+  config : Sf_core.Protocol.config;
+  base_port : int;
+  period : float;
+  loss_rate : float;
+  rng : Sf_prng.Rng.t;
+  nodes : node_state array;
+  read_buffer : bytes;
+  mutable next_serial : int;
+  mutable actions : int;
+  mutable datagrams_sent : int;
+  mutable datagrams_dropped : int;  (* injected loss *)
+  mutable datagrams_received : int;
+  mutable decode_errors : int;
+  mutable send_errors : int;
+}
+
+let address_of t node_id =
+  Unix.ADDR_INET (Unix.inet_addr_loopback, t.base_port + node_id)
+
+let fresh_serial t =
+  let s = t.next_serial in
+  t.next_serial <- s + 1;
+  s
+
+let create ?(period = 0.01) ~base_port ~n ~config ~loss_rate ~seed ~topology () =
+  if n <= 0 then invalid_arg "Cluster.create: need at least one node";
+  if base_port < 1024 || base_port + n > 65_535 then
+    invalid_arg "Cluster.create: port range out of bounds";
+  let rng = Sf_prng.Rng.create seed in
+  let t =
+    {
+      config;
+      base_port;
+      period;
+      loss_rate;
+      rng;
+      nodes = [||];
+      read_buffer = Bytes.create 512;
+      next_serial = 0;
+      actions = 0;
+      datagrams_sent = 0;
+      datagrams_dropped = 0;
+      datagrams_received = 0;
+      decode_errors = 0;
+      send_errors = 0;
+    }
+  in
+  let now = Unix.gettimeofday () in
+  let make_node node_id =
+    let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    Unix.set_nonblock socket;
+    Unix.setsockopt socket Unix.SO_REUSEADDR true;
+    (try Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + node_id))
+     with e ->
+       Unix.close socket;
+       raise e);
+    let node = Sf_core.Protocol.create_node ~config ~node_id in
+    List.iter
+      (fun v ->
+        match Sf_core.View.random_empty_slot node.Sf_core.Protocol.view rng with
+        | None -> invalid_arg "Cluster.create: topology exceeds view size"
+        | Some slot ->
+          Sf_core.View.set node.Sf_core.Protocol.view slot
+            { Sf_core.View.id = v; serial = fresh_serial t; anchor = None; born = 0 })
+      (topology node_id);
+    {
+      node;
+      socket;
+      port = base_port + node_id;
+      (* Stagger first firings across one period. *)
+      next_fire = now +. (period *. Sf_prng.Rng.float rng);
+    }
+  in
+  let nodes = Array.init n make_node in
+  { t with nodes }
+
+let node_count t = Array.length t.nodes
+
+let shutdown t =
+  Array.iter
+    (fun ns -> try Unix.close ns.socket with Unix.Unix_error _ -> ())
+    t.nodes
+
+(* One initiate step at [ns]; the message goes out as a datagram unless the
+   injected loss eats it. *)
+let fire t ns =
+  t.actions <- t.actions + 1;
+  match
+    Sf_core.Protocol.initiate t.config t.rng ~fresh_serial:(fun () -> fresh_serial t)
+      ~clock:t.actions ns.node
+  with
+  | Sf_core.Protocol.Self_loop -> ()
+  | Sf_core.Protocol.Send { destination; message; _ } ->
+    t.datagrams_sent <- t.datagrams_sent + 1;
+    if Sf_prng.Rng.bernoulli t.rng t.loss_rate then
+      t.datagrams_dropped <- t.datagrams_dropped + 1
+    else if destination >= 0 && destination < Array.length t.nodes then begin
+      let packet = Codec.encode message in
+      try
+        ignore
+          (Unix.sendto ns.socket packet 0 (Bytes.length packet) []
+             (address_of t destination))
+      with Unix.Unix_error _ -> t.send_errors <- t.send_errors + 1
+    end
+
+(* Drain every pending datagram on a readable socket. *)
+let drain t ns =
+  let continue = ref true in
+  while !continue do
+    match Unix.recvfrom ns.socket t.read_buffer 0 (Bytes.length t.read_buffer) [] with
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | length, _from ->
+      t.datagrams_received <- t.datagrams_received + 1;
+      (match Codec.decode t.read_buffer ~length with
+      | Ok message ->
+        ignore (Sf_core.Protocol.receive t.config t.rng ns.node message)
+      | Error _ -> t.decode_errors <- t.decode_errors + 1)
+  done
+
+(* Run the cluster for [duration] wall-clock seconds. *)
+let run t ~duration =
+  let deadline = Unix.gettimeofday () +. duration in
+  let sockets = Array.to_list (Array.map (fun ns -> ns.socket) t.nodes) in
+  let by_socket = Hashtbl.create (Array.length t.nodes) in
+  Array.iter (fun ns -> Hashtbl.replace by_socket ns.socket ns) t.nodes;
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    if now >= deadline then ()
+    else begin
+      (* Fire all due timers, rescheduling with jitter. *)
+      Array.iter
+        (fun ns ->
+          if ns.next_fire <= now then begin
+            fire t ns;
+            ns.next_fire <-
+              now +. (t.period *. (0.9 +. (0.2 *. Sf_prng.Rng.float t.rng)))
+          end)
+        t.nodes;
+      let next_timer =
+        Array.fold_left (fun acc ns -> Float.min acc ns.next_fire) infinity t.nodes
+      in
+      let timeout = Float.max 0. (Float.min (next_timer -. now) (deadline -. now)) in
+      match Unix.select sockets [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+        List.iter
+          (fun socket ->
+            match Hashtbl.find_opt by_socket socket with
+            | Some ns -> drain t ns
+            | None -> ())
+          readable;
+        loop ()
+    end
+  in
+  loop ()
+
+(* --- Measurement (mirrors the simulator's monitors) --- *)
+
+let views t =
+  Array.to_seq t.nodes
+  |> Seq.map (fun ns -> (ns.node.Sf_core.Protocol.node_id, ns.node.Sf_core.Protocol.view))
+
+let outdegree_summary t =
+  let summary = Sf_stats.Summary.create () in
+  Array.iter
+    (fun ns -> Sf_stats.Summary.add_int summary (Sf_core.Protocol.degree ns.node))
+    t.nodes;
+  summary
+
+let independence_census t = Sf_core.Census.of_views (views t)
+
+let membership_graph t =
+  let g = Sf_graph.Digraph.create () in
+  Array.iter
+    (fun ns ->
+      Sf_graph.Digraph.ensure_vertex g ns.node.Sf_core.Protocol.node_id;
+      Sf_core.View.iter
+        (fun _ e ->
+          Sf_graph.Digraph.add_edge g ns.node.Sf_core.Protocol.node_id e.Sf_core.View.id)
+        ns.node.Sf_core.Protocol.view)
+    t.nodes;
+  g
+
+let is_weakly_connected t = Sf_graph.Digraph.is_weakly_connected (membership_graph t)
+
+type statistics = {
+  actions : int;
+  datagrams_sent : int;
+  datagrams_dropped : int;
+  datagrams_received : int;
+  decode_errors : int;
+  send_errors : int;
+}
+
+let statistics (t : t) =
+  {
+    actions = t.actions;
+    datagrams_sent = t.datagrams_sent;
+    datagrams_dropped = t.datagrams_dropped;
+    datagrams_received = t.datagrams_received;
+    decode_errors = t.decode_errors;
+    send_errors = t.send_errors;
+  }

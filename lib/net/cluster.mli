@@ -1,0 +1,47 @@
+(** A real S&F deployment over UDP on the loopback interface: one datagram
+    socket per node, jittered periodic initiations, a select-based driver —
+    the paper's "practical implementation" on an actual network stack.
+
+    Intended for moderate cluster sizes (select(2) limits the driver to a
+    few hundred sockets per process). *)
+
+type t
+
+val create :
+  ?period:float ->
+  base_port:int ->
+  n:int ->
+  config:Sf_core.Protocol.config ->
+  loss_rate:float ->
+  seed:int ->
+  topology:Sf_core.Topology.t ->
+  unit ->
+  t
+(** Bind [n] UDP sockets on 127.0.0.1 ports [base_port .. base_port+n-1]
+    and seed the views from [topology]. [period] is the mean time between a
+    node's initiations in seconds (default 10 ms). [loss_rate] is injected
+    at the sender (loopback UDP rarely drops on its own). *)
+
+val node_count : t -> int
+
+val run : t -> duration:float -> unit
+(** Drive the cluster for [duration] wall-clock seconds. *)
+
+val shutdown : t -> unit
+(** Close every socket. *)
+
+val outdegree_summary : t -> Sf_stats.Summary.t
+val independence_census : t -> Sf_core.Census.t
+val membership_graph : t -> Sf_graph.Digraph.t
+val is_weakly_connected : t -> bool
+
+type statistics = {
+  actions : int;
+  datagrams_sent : int;
+  datagrams_dropped : int;   (** injected loss *)
+  datagrams_received : int;
+  decode_errors : int;
+  send_errors : int;
+}
+
+val statistics : t -> statistics

@@ -1,0 +1,71 @@
+(* Wire codec for S&F messages.
+
+   An S&F message is two id instances (the sender's reinforcement id and
+   the forwarded mixing id); fire-and-forget datagrams match the protocol's
+   semantics exactly — no retransmission, no acknowledgement, loss allowed.
+
+   Layout (little-endian, 66 bytes):
+     offset 0   magic        0xF5
+     offset 1   version      1
+     offset 2   reinforcement.id      int64
+     offset 10  reinforcement.serial  int64
+     offset 18  reinforcement.anchor  int64 (-1 encodes None)
+     offset 26  reinforcement.born    int64
+     offset 34  mixing.id             int64
+     offset 42  mixing.serial         int64
+     offset 50  mixing.anchor         int64 (-1 encodes None)
+     offset 58  mixing.born           int64 *)
+
+let magic = '\xf5'
+let version = '\x01'
+let message_size = 66
+
+type error =
+  | Too_short of int
+  | Bad_magic of char
+  | Unsupported_version of char
+
+let pp_error ppf = function
+  | Too_short n -> Fmt.pf ppf "datagram too short (%d bytes)" n
+  | Bad_magic c -> Fmt.pf ppf "bad magic byte 0x%02x" (Char.code c)
+  | Unsupported_version c -> Fmt.pf ppf "unsupported version %d" (Char.code c)
+
+let write_entry buffer ~offset (e : Sf_core.View.entry) =
+  Bytes.set_int64_le buffer offset (Int64.of_int e.Sf_core.View.id);
+  Bytes.set_int64_le buffer (offset + 8) (Int64.of_int e.Sf_core.View.serial);
+  Bytes.set_int64_le buffer (offset + 16)
+    (match e.Sf_core.View.anchor with
+    | None -> -1L
+    | Some a -> Int64.of_int a);
+  Bytes.set_int64_le buffer (offset + 24) (Int64.of_int e.Sf_core.View.born)
+
+let read_entry buffer ~offset =
+  let id = Int64.to_int (Bytes.get_int64_le buffer offset) in
+  let serial = Int64.to_int (Bytes.get_int64_le buffer (offset + 8)) in
+  let anchor =
+    match Bytes.get_int64_le buffer (offset + 16) with
+    | -1L -> None
+    | a -> Some (Int64.to_int a)
+  in
+  let born = Int64.to_int (Bytes.get_int64_le buffer (offset + 24)) in
+  { Sf_core.View.id; serial; anchor; born }
+
+let encode (message : Sf_core.Protocol.message) =
+  let buffer = Bytes.create message_size in
+  Bytes.set buffer 0 magic;
+  Bytes.set buffer 1 version;
+  write_entry buffer ~offset:2 message.Sf_core.Protocol.reinforcement;
+  write_entry buffer ~offset:34 message.Sf_core.Protocol.mixing;
+  buffer
+
+let decode buffer ~length =
+  if length < message_size then Error (Too_short length)
+  else if Bytes.get buffer 0 <> magic then Error (Bad_magic (Bytes.get buffer 0))
+  else if Bytes.get buffer 1 <> version then
+    Error (Unsupported_version (Bytes.get buffer 1))
+  else
+    Ok
+      {
+        Sf_core.Protocol.reinforcement = read_entry buffer ~offset:2;
+        mixing = read_entry buffer ~offset:34;
+      }

@@ -1,0 +1,16 @@
+(** Binary wire codec for S&F messages carried as UDP datagrams. *)
+
+val message_size : int
+(** Encoded size in bytes (66). *)
+
+type error =
+  | Too_short of int
+  | Bad_magic of char
+  | Unsupported_version of char
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : Sf_core.Protocol.message -> bytes
+
+val decode : bytes -> length:int -> (Sf_core.Protocol.message, error) result
+(** Decode the first [length] bytes of a received datagram. *)

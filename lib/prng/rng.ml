@@ -1,0 +1,136 @@
+(* Xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+
+   All randomness in the repository flows through values of type [t] with
+   explicit seeds, so every simulation and statistical experiment is
+   reproducible bit-for-bit.  [split] derives an independent child stream,
+   which lets concurrent components (nodes, network, churn driver) draw
+   without perturbing each other's sequences. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let of_seed64 seed =
+  match Splitmix64.expand seed 4 with
+  | [| s0; s1; s2; s3 |] -> { s0; s1; s2; s3 }
+  | _ -> assert false
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(* Derive an independent stream: reseed a SplitMix64 from the parent's next
+   output.  The parent advances, so successive splits differ. *)
+let split t = of_seed64 (next_int64 t)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* Uniform float in [0,1): top 53 bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+(* Uniform int in [0, bound) without modulo bias (rejection on the top
+   range). [bound] must be positive and fit in 62 bits. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  let mask =
+    (* Smallest all-ones mask covering bound-1. *)
+    let rec go m = if Int64.unsigned_compare m (Int64.sub bound64 1L) >= 0 then m else go (Int64.logor (Int64.shift_left m 1) 1L) in
+    go 1L
+  in
+  let rec draw () =
+    let v = Int64.logand (next_int64 t) mask in
+    if Int64.unsigned_compare v bound64 < 0 then Int64.to_int v else draw ()
+  in
+  draw ()
+
+(* Uniform int in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.compare (Int64.logand (next_int64 t) 1L) 0L <> 0
+
+(* Bernoulli trial with success probability [p]. *)
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else float t < p
+
+(* Two distinct indices drawn uniformly from [0, n). Requires n >= 2. *)
+let distinct_pair t n =
+  if n < 2 then invalid_arg "Rng.distinct_pair: need n >= 2";
+  let i = int t n in
+  let j0 = int t (n - 1) in
+  let j = if j0 >= i then j0 + 1 else j0 in
+  (i, j)
+
+(* In-place Fisher-Yates shuffle. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Uniformly chosen element of a non-empty array. *)
+let choose t a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t n)
+
+(* [k] distinct indices sampled uniformly from [0, n) (Floyd's algorithm). *)
+let sample_indices t ~n ~k =
+  if k > n then invalid_arg "Rng.sample_indices: k > n";
+  let chosen = Hashtbl.create (2 * k) in
+  let out = ref [] in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    let pick = if Hashtbl.mem chosen r then j else r in
+    Hashtbl.replace chosen pick ();
+    out := pick :: !out
+  done;
+  Array.of_list !out
+
+(* Exponential variate with rate [lambda]. *)
+let exponential t lambda =
+  if lambda <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log1p (-.float t) /. lambda
+
+(* Geometric variate: number of failures before the first success,
+   success probability [p]. *)
+let geometric t p =
+  if p <= 0. || p > 1. then invalid_arg "Rng.geometric: p in (0,1]";
+  if p = 1. then 0
+  else
+    let u = float t in
+    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+
+(* Index drawn according to an (unnormalized) weight vector. *)
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Rng.categorical: weights must sum to > 0";
+  let x = float t *. total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.

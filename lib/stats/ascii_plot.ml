@@ -1,0 +1,144 @@
+(* ASCII rendering of distributions and curves for terminal output.  The
+   reproduction harness is text-only, so the paper's figures are rendered
+   as horizontal bar charts (for pmfs) and sampled line charts (for decay
+   curves and overlap series). *)
+
+let default_width = 56
+
+(* Horizontal bar chart of a pmf: one row per support point carrying more
+   than [threshold] mass. *)
+let pmf ?(width = default_width) ?(threshold = 1e-3) ppf p =
+  let peak = Pmf.fold (fun acc _ pr -> Float.max acc pr) 0. p in
+  if peak <= 0. then Fmt.pf ppf "(empty distribution)@."
+  else
+    Pmf.iter
+      (fun k pr ->
+        if pr >= threshold then begin
+          let bar = int_of_float (Float.round (pr /. peak *. float_of_int width)) in
+          Fmt.pf ppf "%5d | %s %.4f@." k (String.make bar '#') pr
+        end)
+      p
+
+(* Overlay of up to three pmfs using distinct glyphs; rows where all series
+   are below [threshold] are skipped. *)
+let pmf_overlay ?(width = default_width) ?(threshold = 1e-3) ppf series =
+  let glyphs = [| '#'; '+'; '.' |] in
+  if List.length series > Array.length glyphs then
+    invalid_arg "Ascii_plot.pmf_overlay: at most three series";
+  let lo =
+    List.fold_left (fun acc (_, p) -> min acc (Pmf.offset p)) max_int series
+  in
+  let hi =
+    List.fold_left (fun acc (_, p) -> max acc (Pmf.max_support p)) min_int series
+  in
+  let peak =
+    List.fold_left
+      (fun acc (_, p) -> Pmf.fold (fun a _ pr -> Float.max a pr) acc p)
+      0. series
+  in
+  if peak <= 0. then Fmt.pf ppf "(empty distributions)@."
+  else begin
+    List.iteri
+      (fun i (name, _) -> Fmt.pf ppf "  %c = %s@." glyphs.(i) name)
+      series;
+    for k = lo to hi do
+      let marks =
+        List.mapi
+          (fun i (_, p) ->
+            let pr = Pmf.prob p k in
+            if pr < threshold then None
+            else
+              Some
+                ( int_of_float (Float.round (pr /. peak *. float_of_int width)),
+                  glyphs.(i) ))
+          series
+      in
+      let marks = List.filter_map Fun.id marks in
+      if marks <> [] then begin
+        let line = Bytes.make (width + 1) ' ' in
+        (* Draw shorter bars last so every series stays visible. *)
+        let sorted = List.sort (fun (a, _) (b, _) -> compare b a) marks in
+        List.iter
+          (fun (len, glyph) ->
+            for x = 0 to min len width - 1 do
+              Bytes.set line x glyph
+            done)
+          sorted;
+        Fmt.pf ppf "%5d |%s@." k (Bytes.to_string line)
+      end
+    done
+  end
+
+(* Line chart of a float series indexed 0..n-1 (e.g. a survival curve):
+   renders [rows] text rows, sampling the series across [width] columns. *)
+let series ?(width = 64) ?(rows = 12) ppf (label, values) =
+  let n = Array.length values in
+  if n = 0 then Fmt.pf ppf "(empty series)@."
+  else begin
+    let lo = Array.fold_left Float.min infinity values in
+    let hi = Array.fold_left Float.max neg_infinity values in
+    let span = if hi -. lo < 1e-12 then 1. else hi -. lo in
+    let grid = Array.make_matrix rows width ' ' in
+    for col = 0 to width - 1 do
+      let idx = col * (n - 1) / max 1 (width - 1) in
+      let v = values.(idx) in
+      let row =
+        (rows - 1) - int_of_float (Float.round ((v -. lo) /. span *. float_of_int (rows - 1)))
+      in
+      grid.(max 0 (min (rows - 1) row)).(col) <- '*'
+    done;
+    Fmt.pf ppf "%s  (max %.3f, min %.3f)@." label hi lo;
+    Array.iteri
+      (fun i row ->
+        let axis =
+          if i = 0 then Fmt.str "%8.3f" hi
+          else if i = rows - 1 then Fmt.str "%8.3f" lo
+          else String.make 8 ' '
+        in
+        Fmt.pf ppf "%s |%s@." axis (String.init width (fun c -> row.(c))))
+      grid;
+    Fmt.pf ppf "%s +%s@." (String.make 8 ' ') (String.make width '-');
+    Fmt.pf ppf "%s  0%s%d@." (String.make 8 ' ')
+      (String.make (max 1 (width - 2 - String.length (string_of_int (n - 1)))) ' ')
+      (n - 1)
+  end
+
+(* Multiple series on one chart, distinct glyphs, shared y-scale. *)
+let multi_series ?(width = 64) ?(rows = 12) ppf labelled =
+  let glyphs = [| '*'; '+'; 'o'; 'x' |] in
+  if List.length labelled > Array.length glyphs then
+    invalid_arg "Ascii_plot.multi_series: at most four series";
+  let all = List.concat_map (fun (_, v) -> Array.to_list v) labelled in
+  match all with
+  | [] -> Fmt.pf ppf "(no data)@."
+  | first :: rest ->
+    let lo = List.fold_left Float.min first rest in
+    let hi = List.fold_left Float.max first rest in
+    let span = if hi -. lo < 1e-12 then 1. else hi -. lo in
+    let grid = Array.make_matrix rows width ' ' in
+    List.iteri
+      (fun si (_, values) ->
+        let n = Array.length values in
+        if n > 0 then
+          for col = 0 to width - 1 do
+            let idx = col * (n - 1) / max 1 (width - 1) in
+            let v = values.(idx) in
+            let row =
+              (rows - 1)
+              - int_of_float
+                  (Float.round ((v -. lo) /. span *. float_of_int (rows - 1)))
+            in
+            grid.(max 0 (min (rows - 1) row)).(col) <- glyphs.(si)
+          done)
+      labelled;
+    List.iteri (fun si (name, _) -> Fmt.pf ppf "  %c = %s@." glyphs.(si) name) labelled;
+    Array.iteri
+      (fun i row ->
+        let axis =
+          if i = 0 then Fmt.str "%8.3f" hi
+          else if i = rows - 1 then Fmt.str "%8.3f" lo
+          else String.make 8 ' '
+        in
+        Fmt.pf ppf "%s |%s@." axis (String.init width (fun c -> row.(c))))
+      grid;
+    Fmt.pf ppf "%s +%s@." (String.make 8 ' ') (String.make width '-')

@@ -1,0 +1,21 @@
+(** ASCII rendering of distributions and curves for the text-only
+    reproduction harness. *)
+
+val pmf : ?width:int -> ?threshold:float -> Format.formatter -> Pmf.t -> unit
+(** Horizontal bar chart; rows with mass below [threshold] (default 1e-3)
+    are skipped. *)
+
+val pmf_overlay :
+  ?width:int ->
+  ?threshold:float ->
+  Format.formatter ->
+  (string * Pmf.t) list ->
+  unit
+(** Up to three pmfs overlaid with distinct glyphs on a shared scale. *)
+
+val series : ?width:int -> ?rows:int -> Format.formatter -> string * float array -> unit
+(** Line chart of one float series (x = index). *)
+
+val multi_series :
+  ?width:int -> ?rows:int -> Format.formatter -> (string * float array) list -> unit
+(** Up to four series on one chart with a shared y-scale. *)

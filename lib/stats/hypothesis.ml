@@ -1,0 +1,87 @@
+(* Goodness-of-fit tests used by the property monitors: chi-square against a
+   reference distribution (uniformity of view entries, Property M3) and a
+   two-sample Kolmogorov-Smirnov test for comparing empirical degree
+   distributions against the degree-MC prediction. *)
+
+type chi_square_result = {
+  statistic : float;
+  degrees_of_freedom : int;
+  p_value : float;
+}
+
+(* Chi-square test of observed integer counts against expected counts.
+   Cells with expected count below [min_expected] are pooled into their
+   neighbour to keep the asymptotic approximation honest. *)
+let chi_square ?(min_expected = 5.) ~observed ~expected () =
+  if Array.length observed <> Array.length expected then
+    invalid_arg "Hypothesis.chi_square: length mismatch";
+  if Array.length observed = 0 then
+    invalid_arg "Hypothesis.chi_square: empty";
+  (* Pool consecutive cells until each pooled cell has enough expectation. *)
+  let pooled = ref [] in
+  let acc_o = ref 0. and acc_e = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      acc_o := !acc_o +. observed.(i);
+      acc_e := !acc_e +. expected.(i);
+      if !acc_e >= min_expected then begin
+        pooled := (!acc_o, !acc_e) :: !pooled;
+        acc_o := 0.;
+        acc_e := 0.
+      end)
+    observed;
+  (* Fold any residual tail into the last pooled cell. *)
+  (match !pooled with
+  | (o, e) :: rest when !acc_e > 0. -> pooled := (o +. !acc_o, e +. !acc_e) :: rest
+  | [] -> pooled := [ (!acc_o, !acc_e) ]
+  | _ -> ());
+  let cells = Array.of_list (List.rev !pooled) in
+  let statistic =
+    Array.fold_left
+      (fun acc (o, e) -> if e > 0. then acc +. (((o -. e) ** 2.) /. e) else acc)
+      0. cells
+  in
+  let degrees_of_freedom = max 1 (Array.length cells - 1) in
+  let p_value = Special.gamma_q (float_of_int degrees_of_freedom /. 2.) (statistic /. 2.) in
+  { statistic; degrees_of_freedom; p_value }
+
+(* Chi-square test that integer counts are uniform over their cells. *)
+let chi_square_uniform counts =
+  let total = Array.fold_left ( +. ) 0. counts in
+  let k = Array.length counts in
+  if k = 0 || total <= 0. then invalid_arg "Hypothesis.chi_square_uniform";
+  let expected = Array.make k (total /. float_of_int k) in
+  chi_square ~observed:counts ~expected ()
+
+(* Two-sample KS statistic over integer samples: max CDF gap. *)
+let ks_statistic a b =
+  if Array.length a = 0 || Array.length b = 0 then
+    invalid_arg "Hypothesis.ks_statistic: empty sample";
+  let pa = Pmf.of_samples a and pb = Pmf.of_samples b in
+  let lo = min (Pmf.offset pa) (Pmf.offset pb) in
+  let hi = max (Pmf.max_support pa) (Pmf.max_support pb) in
+  let gap = ref 0. and ca = ref 0. and cb = ref 0. in
+  for k = lo to hi do
+    ca := !ca +. Pmf.prob pa k;
+    cb := !cb +. Pmf.prob pb k;
+    gap := Float.max !gap (Float.abs (!ca -. !cb))
+  done;
+  !gap
+
+(* Asymptotic two-sample KS p-value (Kolmogorov distribution tail). *)
+let ks_p_value a b =
+  let d = ks_statistic a b in
+  let na = float_of_int (Array.length a) and nb = float_of_int (Array.length b) in
+  let ne = na *. nb /. (na +. nb) in
+  let lambda = (sqrt ne +. 0.12 +. (0.11 /. sqrt ne)) *. d in
+  (* The Kolmogorov series diverges numerically for tiny lambda, where the
+     true tail probability is 1 anyway. *)
+  if lambda < 0.2 then 1.
+  else
+  let acc = ref 0. in
+  for j = 1 to 100 do
+    let fj = float_of_int j in
+    let term = ((-1.) ** (fj -. 1.)) *. exp (-2. *. fj *. fj *. lambda *. lambda) in
+    acc := !acc +. term
+  done;
+  Float.max 0. (Float.min 1. (2. *. !acc))

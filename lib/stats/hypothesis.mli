@@ -1,0 +1,26 @@
+(** Goodness-of-fit tests for the property monitors. *)
+
+type chi_square_result = {
+  statistic : float;
+  degrees_of_freedom : int;
+  p_value : float;
+}
+
+val chi_square :
+  ?min_expected:float ->
+  observed:float array ->
+  expected:float array ->
+  unit ->
+  chi_square_result
+(** Pearson chi-square of observed vs expected counts. Cells with expected
+    count below [min_expected] (default 5) are pooled with their
+    neighbours. *)
+
+val chi_square_uniform : float array -> chi_square_result
+(** Chi-square test that the counts are uniform across cells. *)
+
+val ks_statistic : int array -> int array -> float
+(** Two-sample Kolmogorov-Smirnov statistic over integer samples. *)
+
+val ks_p_value : int array -> int array -> float
+(** Asymptotic two-sample KS p-value. *)

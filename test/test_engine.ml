@@ -1,0 +1,225 @@
+(* Tests for the discrete-event engine and the lossy network. *)
+
+module Event_queue = Sf_engine.Event_queue
+module Sim = Sf_engine.Sim
+module Network = Sf_engine.Network
+
+(* --- Event queue --- *)
+
+let test_queue_orders_by_time () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3. "c";
+  Event_queue.push q ~time:1. "a";
+  Event_queue.push q ~time:2. "b";
+  let pop () = match Event_queue.pop q with Some (_, x) -> x | None -> "?" in
+  (* Bind sequentially: list literals evaluate right to left in OCaml. *)
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_queue_fifo_on_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:5. i
+  done;
+  let order = List.init 10 (fun _ -> match Event_queue.pop q with Some (_, x) -> x | None -> -1) in
+  Alcotest.(check (list int)) "insertion order on equal times" (List.init 10 Fun.id) order
+
+let test_queue_interleaved () =
+  let q = Event_queue.create () in
+  let rng = Sf_prng.Rng.create 4 in
+  for i = 0 to 999 do
+    Event_queue.push q ~time:(Sf_prng.Rng.float rng) i
+  done;
+  let last = ref neg_infinity in
+  let ok = ref true in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (t, _) ->
+      if t < !last then ok := false;
+      last := t;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "nondecreasing pops" true !ok;
+  Alcotest.(check bool) "empty after drain" true (Event_queue.is_empty q)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:2. "later";
+  Event_queue.push q ~time:1. "sooner";
+  (match Event_queue.peek q with
+  | Some (t, x) ->
+    Alcotest.(check string) "peek payload" "sooner" x;
+    Alcotest.(check bool) "peek time" true (t = 1.)
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "peek does not remove" 2 (Event_queue.length q)
+
+(* --- Simulator --- *)
+
+let test_sim_runs_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:2. (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~delay:1. (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~delay:3. (fun () -> log := "c" :: !log);
+  let outcome = Sim.run sim in
+  Alcotest.(check (list string)) "executed in order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check bool) "drained" true (outcome = Sim.Drained);
+  Alcotest.(check bool) "clock at last event" true (Sim.now sim = 3.)
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then Sim.schedule sim ~delay:1. tick
+  in
+  Sim.schedule sim ~delay:1. tick;
+  ignore (Sim.run sim);
+  Alcotest.(check int) "recursive events" 5 !count;
+  Alcotest.(check bool) "time advanced" true (Sim.now sim = 5.)
+
+let test_sim_horizon () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Sim.schedule sim ~delay:1. tick
+  in
+  Sim.schedule sim ~delay:1. tick;
+  let outcome = Sim.run ~horizon:10.5 sim in
+  Alcotest.(check bool) "horizon outcome" true (outcome = Sim.Reached_horizon);
+  Alcotest.(check int) "ten events" 10 !count;
+  Alcotest.(check bool) "clock at horizon" true (Sim.now sim = 10.5);
+  (* Resume cleanly past the first horizon. *)
+  let outcome = Sim.run ~horizon:15.5 sim in
+  Alcotest.(check bool) "resumed" true (outcome = Sim.Reached_horizon);
+  Alcotest.(check int) "five more" 15 !count
+
+let test_sim_event_budget () =
+  let sim = Sim.create () in
+  let rec tick () = Sim.schedule sim ~delay:1. tick in
+  Sim.schedule sim ~delay:1. tick;
+  let outcome = Sim.run ~max_events:7 sim in
+  Alcotest.(check bool) "budget outcome" true (outcome = Sim.Budget_exhausted);
+  Alcotest.(check int) "counted" 7 (Sim.executed_events sim)
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count = 3 then Sim.stop sim else Sim.schedule sim ~delay:1. tick
+  in
+  Sim.schedule sim ~delay:1. tick;
+  let outcome = Sim.run sim in
+  Alcotest.(check bool) "stopped" true (outcome = Sim.Stopped);
+  Alcotest.(check int) "three events" 3 !count
+
+let test_sim_rejects_negative_delay () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> Sim.schedule sim ~delay:(-1.) (fun () -> ()))
+
+(* --- Network --- *)
+
+let make_network ?(loss = 0.) () =
+  let sim = Sim.create () in
+  let rng = Sf_prng.Rng.create 99 in
+  (sim, Network.create ~sim ~rng ~loss_rate:loss ())
+
+let test_network_delivers () =
+  let sim, net = make_network () in
+  let received = ref [] in
+  Network.register net 1 (fun msg -> received := msg :: !received);
+  Network.send net ~dst:1 "hello";
+  Network.send net ~dst:1 "world";
+  ignore (Sim.run sim);
+  Alcotest.(check int) "both delivered" 2 (List.length !received);
+  let stats = Network.statistics net in
+  Alcotest.(check int) "sent" 2 stats.Network.messages_sent;
+  Alcotest.(check int) "delivered" 2 stats.Network.messages_delivered
+
+let test_network_loss_rate () =
+  let sim, net = make_network ~loss:0.25 () in
+  let received = ref 0 in
+  Network.register net 1 (fun () -> incr received);
+  let n = 40_000 in
+  for _ = 1 to n do
+    Network.send net ~dst:1 ()
+  done;
+  ignore (Sim.run sim);
+  let observed = Network.observed_loss_rate net in
+  Alcotest.(check bool) "observed loss near 0.25" true (Float.abs (observed -. 0.25) < 0.01);
+  Alcotest.(check int) "received + lost = sent" n
+    (!received + (Network.statistics net).Network.messages_lost)
+
+let test_network_dead_destination () =
+  let sim, net = make_network () in
+  Network.send net ~dst:42 "ghost";
+  ignore (Sim.run sim);
+  let stats = Network.statistics net in
+  Alcotest.(check int) "dropped" 1 stats.Network.messages_to_dead_nodes;
+  Alcotest.(check int) "not delivered" 0 stats.Network.messages_delivered
+
+let test_network_unregister () =
+  let sim, net = make_network () in
+  let received = ref 0 in
+  Network.register net 1 (fun () -> incr received);
+  Network.send net ~dst:1 ();
+  ignore (Sim.run sim);
+  Network.unregister net 1;
+  Alcotest.(check bool) "no longer registered" false (Network.is_registered net 1);
+  Network.send net ~dst:1 ();
+  ignore (Sim.run sim);
+  Alcotest.(check int) "only first delivered" 1 !received
+
+let test_network_send_immediate () =
+  let _, net = make_network () in
+  let received = ref 0 in
+  Network.register net 1 (fun () -> incr received);
+  Alcotest.(check bool) "delivered synchronously" true (Network.send_immediate net ~dst:1 ());
+  Alcotest.(check int) "handler ran inline" 1 !received;
+  Alcotest.(check bool) "dead destination" false (Network.send_immediate net ~dst:9 ())
+
+let test_network_latency_ordering () =
+  (* With the default latency in [0.5, 1.5), a message sent at t=0 arrives
+     before one sent at t=2. *)
+  let sim, net = make_network () in
+  let log = ref [] in
+  Network.register net 1 (fun tag -> log := tag :: !log);
+  Network.send net ~dst:1 "first";
+  Sim.schedule sim ~delay:2. (fun () -> Network.send net ~dst:1 "second");
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "causal order" [ "first"; "second" ] (List.rev !log)
+
+let test_network_rejects_bad_loss () =
+  let sim = Sim.create () in
+  let rng = Sf_prng.Rng.create 1 in
+  Alcotest.check_raises "loss out of range"
+    (Invalid_argument "Network.create: loss_rate must lie in [0,1]") (fun () ->
+      ignore (Network.create ~sim ~rng ~loss_rate:1.5 ()))
+
+let suite =
+  [
+    Alcotest.test_case "queue time order" `Quick test_queue_orders_by_time;
+    Alcotest.test_case "queue FIFO ties" `Quick test_queue_fifo_on_ties;
+    Alcotest.test_case "queue interleaved" `Quick test_queue_interleaved;
+    Alcotest.test_case "queue peek" `Quick test_queue_peek;
+    Alcotest.test_case "sim order" `Quick test_sim_runs_in_order;
+    Alcotest.test_case "sim nested scheduling" `Quick test_sim_nested_scheduling;
+    Alcotest.test_case "sim horizon" `Quick test_sim_horizon;
+    Alcotest.test_case "sim event budget" `Quick test_sim_event_budget;
+    Alcotest.test_case "sim stop" `Quick test_sim_stop;
+    Alcotest.test_case "sim negative delay" `Quick test_sim_rejects_negative_delay;
+    Alcotest.test_case "network delivery" `Quick test_network_delivers;
+    Alcotest.test_case "network loss rate" `Quick test_network_loss_rate;
+    Alcotest.test_case "network dead destination" `Quick test_network_dead_destination;
+    Alcotest.test_case "network unregister" `Quick test_network_unregister;
+    Alcotest.test_case "network send_immediate" `Quick test_network_send_immediate;
+    Alcotest.test_case "network latency ordering" `Quick test_network_latency_ordering;
+    Alcotest.test_case "network loss validation" `Quick test_network_rejects_bad_loss;
+  ]

@@ -1,0 +1,169 @@
+(* Tests for the membership multigraph. *)
+
+module Digraph = Sf_graph.Digraph
+
+let test_empty_graph () =
+  let g = Digraph.create () in
+  Alcotest.(check int) "no vertices" 0 (Digraph.vertex_count g);
+  Alcotest.(check int) "no edges" 0 (Digraph.edge_count g);
+  Alcotest.(check bool) "trivially connected" true (Digraph.is_weakly_connected g)
+
+let test_add_edge_registers_vertices () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Alcotest.(check int) "two vertices" 2 (Digraph.vertex_count g);
+  Alcotest.(check int) "one edge" 1 (Digraph.edge_count g);
+  Alcotest.(check int) "d(1)" 1 (Digraph.out_degree g 1);
+  Alcotest.(check int) "din(2)" 1 (Digraph.in_degree g 2)
+
+let test_multiplicity () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Alcotest.(check int) "mult (0,1)" 2 (Digraph.multiplicity g 0 1);
+  Alcotest.(check int) "out degree counts multiplicity" 3 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in degree of 1" 2 (Digraph.in_degree g 1);
+  Alcotest.(check int) "parallel surplus" 1 (Digraph.parallel_edge_count g)
+
+let test_remove_edge () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  Digraph.remove_edge g 0 1;
+  Alcotest.(check int) "mult down" 1 (Digraph.multiplicity g 0 1);
+  Digraph.remove_edge g 0 1;
+  Alcotest.(check int) "edge gone" 0 (Digraph.multiplicity g 0 1);
+  Alcotest.check_raises "removing absent edge"
+    (Invalid_argument "Digraph: removing a non-existent edge") (fun () ->
+      Digraph.remove_edge g 0 1)
+
+let test_sum_degree () =
+  (* ds(u) = d(u) + 2 din(u), Definition 6.1. *)
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 1 0;
+  Digraph.add_edge g 2 0;
+  Digraph.add_edge g 2 0;
+  Alcotest.(check int) "ds(0) = 2 + 2*3" 8 (Digraph.sum_degree g 0)
+
+let test_self_loops () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 3 3;
+  Digraph.add_edge g 3 3;
+  Digraph.add_edge g 3 4;
+  Alcotest.(check int) "self loops" 2 (Digraph.self_loop_count g);
+  Alcotest.(check int) "out degree includes self" 3 (Digraph.out_degree g 3);
+  Alcotest.(check int) "in degree includes self" 2 (Digraph.in_degree g 3)
+
+let test_neighbors () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 3 0;
+  Alcotest.(check (list int)) "out neighbors distinct"
+    [ 1; 2 ]
+    (List.sort compare (Digraph.out_neighbors g 0));
+  Alcotest.(check (list int)) "in neighbors" [ 3 ] (Digraph.in_neighbors g 0)
+
+let test_weak_connectivity () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 2 1;
+  (* 0 -> 1 <- 2 is weakly connected despite no directed path 0 -> 2. *)
+  Alcotest.(check bool) "weakly connected" true (Digraph.is_weakly_connected g);
+  Digraph.ensure_vertex g 9;
+  Alcotest.(check bool) "isolated vertex disconnects" false (Digraph.is_weakly_connected g);
+  Alcotest.(check int) "two components" 2
+    (List.length (Digraph.weakly_connected_components g))
+
+let test_components_membership () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 2 3;
+  let components =
+    List.map (List.sort compare) (Digraph.weakly_connected_components g)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1 ]; [ 2; 3 ] ] components
+
+let test_degree_statistics () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 0;
+  let stats = Digraph.degree_statistics g in
+  Alcotest.(check int) "3 nodes" 3 (Sf_stats.Summary.count stats.Digraph.out_degrees);
+  Alcotest.(check bool) "mean out = 1" true
+    (Float.abs (Sf_stats.Summary.mean stats.Digraph.out_degrees -. 1.) < 1e-9);
+  Alcotest.(check bool) "var out = 0" true
+    (Sf_stats.Summary.variance stats.Digraph.out_degrees < 1e-9)
+
+let test_copy_and_equal () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 0;
+  let h = Digraph.copy g in
+  Alcotest.(check bool) "copy equal" true (Digraph.equal g h);
+  Digraph.remove_edge g 0 1;
+  Alcotest.(check bool) "diverged" false (Digraph.equal g h);
+  Alcotest.(check int) "copy untouched" 2 (Digraph.multiplicity h 0 1)
+
+let test_degree_arrays () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  let outs = Array.to_list (Digraph.out_degree_array g) |> List.sort compare in
+  Alcotest.(check (list int)) "out degrees" [ 0; 0; 2 ] outs
+
+(* Property: edge_count always equals the sum of out-degrees, and equals the
+   sum of in-degrees, under random add/remove sequences. *)
+let prop_edge_count_consistency =
+  let op_gen = QCheck.Gen.(pair (int_range 0 9) (int_range 0 9)) in
+  QCheck.Test.make ~name:"degree sums match edge count" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 100) op_gen))
+    (fun ops ->
+      let g = Digraph.create () in
+      List.iter (fun (u, v) -> Digraph.add_edge g u v) ops;
+      let sum_out =
+        List.fold_left (fun acc u -> acc + Digraph.out_degree g u) 0 (Digraph.vertices g)
+      in
+      let sum_in =
+        List.fold_left (fun acc u -> acc + Digraph.in_degree g u) 0 (Digraph.vertices g)
+      in
+      sum_out = Digraph.edge_count g && sum_in = Digraph.edge_count g)
+
+let prop_remove_inverts_add =
+  QCheck.Test.make ~name:"remove inverts add" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 50) (pair (int_range 0 5) (int_range 0 5))))
+    (fun ops ->
+      let g = Digraph.create () in
+      List.iter (fun (u, v) -> Digraph.add_edge g u v) ops;
+      let before = Digraph.copy g in
+      match ops with
+      | [] -> true
+      | (u, v) :: _ ->
+        Digraph.add_edge g u v;
+        Digraph.remove_edge g u v;
+        Digraph.equal g before)
+
+let suite =
+  [
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "add edge" `Quick test_add_edge_registers_vertices;
+    Alcotest.test_case "multiplicity" `Quick test_multiplicity;
+    Alcotest.test_case "remove edge" `Quick test_remove_edge;
+    Alcotest.test_case "sum degree (Def 6.1)" `Quick test_sum_degree;
+    Alcotest.test_case "self loops" `Quick test_self_loops;
+    Alcotest.test_case "neighbors" `Quick test_neighbors;
+    Alcotest.test_case "weak connectivity" `Quick test_weak_connectivity;
+    Alcotest.test_case "components" `Quick test_components_membership;
+    Alcotest.test_case "degree statistics" `Quick test_degree_statistics;
+    Alcotest.test_case "copy and equal" `Quick test_copy_and_equal;
+    Alcotest.test_case "degree arrays" `Quick test_degree_arrays;
+    QCheck_alcotest.to_alcotest prop_edge_count_consistency;
+    QCheck_alcotest.to_alcotest prop_remove_inverts_add;
+  ]

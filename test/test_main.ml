@@ -1,0 +1,23 @@
+(* Aggregated test entry point: one Alcotest section per subsystem. *)
+
+let () =
+  Alcotest.run "send-and-forget"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("markov", Test_markov.suite);
+      ("graph", Test_graph.suite);
+      ("engine", Test_engine.suite);
+      ("protocol", Test_protocol.suite);
+      ("runner", Test_runner.suite);
+      ("properties", Test_properties.suite);
+      ("churn", Test_churn.suite);
+      ("baselines", Test_baselines.suite);
+      ("variants", Test_variants.suite);
+      ("analysis", Test_analysis.suite);
+      ("global-mc", Test_global_mc.suite);
+      ("random-walk", Test_random_walk.suite);
+      ("extensions", Test_extensions.suite);
+      ("net", Test_net.suite);
+      ("robustness", Test_robustness.suite);
+    ]

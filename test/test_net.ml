@@ -1,0 +1,144 @@
+(* Tests for the UDP deployment layer: the wire codec and the socket-based
+   cluster driver. *)
+
+module Codec = Sf_net.Codec
+module Cluster = Sf_net.Cluster
+module View = Sf_core.View
+module Protocol = Sf_core.Protocol
+
+let entry ?(serial = 0) ?(anchor = None) ?(born = 0) id =
+  { View.id; serial; anchor; born }
+
+let message ?(anchor = None) () =
+  {
+    Protocol.reinforcement = entry ~serial:123 ~anchor ~born:42 7;
+    mixing = entry ~serial:456 ~born:43 9;
+  }
+
+(* --- Codec --- *)
+
+let test_codec_roundtrip () =
+  let m = message ~anchor:(Some 5) () in
+  let encoded = Codec.encode m in
+  Alcotest.(check int) "size" Codec.message_size (Bytes.length encoded);
+  match Codec.decode encoded ~length:(Bytes.length encoded) with
+  | Ok decoded ->
+    Alcotest.(check bool) "roundtrip" true (decoded = m)
+  | Error e -> Alcotest.failf "decode failed: %a" Codec.pp_error e
+
+let test_codec_none_anchor () =
+  let m = message () in
+  match Codec.decode (Codec.encode m) ~length:Codec.message_size with
+  | Ok decoded ->
+    Alcotest.(check bool) "anchor None survives" true
+      (decoded.Protocol.reinforcement.View.anchor = None)
+  | Error e -> Alcotest.failf "decode failed: %a" Codec.pp_error e
+
+let test_codec_truncated () =
+  let encoded = Codec.encode (message ()) in
+  (match Codec.decode encoded ~length:10 with
+  | Error (Codec.Too_short 10) -> ()
+  | _ -> Alcotest.fail "short datagram must be rejected")
+
+let test_codec_bad_magic () =
+  let encoded = Codec.encode (message ()) in
+  Bytes.set encoded 0 'x';
+  (match Codec.decode encoded ~length:Codec.message_size with
+  | Error (Codec.Bad_magic 'x') -> ()
+  | _ -> Alcotest.fail "bad magic must be rejected")
+
+let test_codec_bad_version () =
+  let encoded = Codec.encode (message ()) in
+  Bytes.set encoded 1 '\x7f';
+  (match Codec.decode encoded ~length:Codec.message_size with
+  | Error (Codec.Unsupported_version _) -> ()
+  | _ -> Alcotest.fail "unknown version must be rejected")
+
+let prop_codec_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let entry_gen =
+        map2
+          (fun (id, serial) (anchor, born) ->
+            { View.id; serial; anchor = (if anchor < 0 then None else Some anchor); born })
+          (pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+          (pair (int_range (-1) 1_000_000) (int_range 0 1_000_000))
+      in
+      map2
+        (fun reinforcement mixing -> { Protocol.reinforcement; mixing })
+        entry_gen entry_gen)
+  in
+  QCheck.Test.make ~name:"codec roundtrip" ~count:300 (QCheck.make gen) (fun m ->
+      match Codec.decode (Codec.encode m) ~length:Codec.message_size with
+      | Ok decoded -> decoded = m
+      | Error _ -> false)
+
+(* --- Cluster --- *)
+
+let config = Protocol.make_config ~view_size:12 ~lower_threshold:4
+
+let make_cluster ?(n = 24) ?(loss = 0.) ~base_port () =
+  let topology = Sf_core.Topology.regular (Sf_prng.Rng.create 5) ~n ~out_degree:4 in
+  Cluster.create ~period:0.002 ~base_port ~n ~config ~loss_rate:loss ~seed:6 ~topology ()
+
+let test_cluster_runs_and_converges () =
+  let c = make_cluster ~base_port:48100 () in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown c)
+    (fun () ->
+      Cluster.run c ~duration:1.5;
+      let stats = Cluster.statistics c in
+      Alcotest.(check bool) "actions happened" true (stats.Cluster.actions > 500);
+      Alcotest.(check bool) "datagrams flowed" true (stats.Cluster.datagrams_sent > 100);
+      Alcotest.(check int) "no decode errors" 0 stats.Cluster.decode_errors;
+      Alcotest.(check int) "no send errors" 0 stats.Cluster.send_errors;
+      (* Without injected loss every sent datagram arrives on loopback. *)
+      Alcotest.(check int) "conservation"
+        (stats.Cluster.datagrams_sent - stats.Cluster.datagrams_dropped)
+        stats.Cluster.datagrams_received;
+      Alcotest.(check bool) "connected" true (Cluster.is_weakly_connected c);
+      (* Observation 5.1 holds over the real transport too. *)
+      let outs = Cluster.outdegree_summary c in
+      Alcotest.(check bool) "degrees bounded" true
+        (Sf_stats.Summary.min_value outs >= 0. && Sf_stats.Summary.max_value outs <= 12.))
+
+let test_cluster_injected_loss_rate () =
+  let c = make_cluster ~n:32 ~loss:0.2 ~base_port:48200 () in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown c)
+    (fun () ->
+      Cluster.run c ~duration:1.5;
+      let stats = Cluster.statistics c in
+      let observed =
+        float_of_int stats.Cluster.datagrams_dropped
+        /. float_of_int (max 1 stats.Cluster.datagrams_sent)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "observed loss %.3f near 0.2" observed)
+        true
+        (Float.abs (observed -. 0.2) < 0.05);
+      (* Duplication compensates: degrees stay at/above dL. *)
+      let outs = Cluster.outdegree_summary c in
+      Alcotest.(check bool) "degrees survive loss" true
+        (Sf_stats.Summary.mean outs >= 4.))
+
+let test_cluster_port_validation () =
+  Alcotest.(check bool) "privileged ports rejected" true
+    (match make_cluster ~base_port:80 () with
+    | exception Invalid_argument _ -> true
+    | c ->
+      Cluster.shutdown c;
+      false)
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec None anchor" `Quick test_codec_none_anchor;
+    Alcotest.test_case "codec truncated" `Quick test_codec_truncated;
+    Alcotest.test_case "codec bad magic" `Quick test_codec_bad_magic;
+    Alcotest.test_case "codec bad version" `Quick test_codec_bad_version;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    Alcotest.test_case "cluster converges (real UDP)" `Quick test_cluster_runs_and_converges;
+    Alcotest.test_case "cluster loss injection" `Quick test_cluster_injected_loss_rate;
+    Alcotest.test_case "cluster port validation" `Quick test_cluster_port_validation;
+  ]

@@ -1,0 +1,214 @@
+(* Tests for the deterministic PRNG substrate. *)
+
+module Rng = Sf_prng.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_split_independence () =
+  let parent = Rng.create 7 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "children differ"
+    true
+    (not (Int64.equal (Rng.next_int64 child1) (Rng.next_int64 child2)))
+
+let test_copy_preserves_state () =
+  let a = Rng.create 9 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 4 in
+  let sum = ref 0. in
+  let n = 100_000 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_bounds_rejected () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.create 6 in
+  let counts = Array.make 10 0. in
+  for _ = 1 to 50_000 do
+    let k = Rng.int rng 10 in
+    counts.(k) <- counts.(k) +. 1.
+  done;
+  let r = Sf_stats.Hypothesis.chi_square_uniform counts in
+  Alcotest.(check bool) "uniform by chi-square" true
+    (r.Sf_stats.Hypothesis.p_value > 0.001)
+
+let test_int_range () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_range rng (-5) 5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 10 in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 11 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.01)
+
+let test_distinct_pair () =
+  let rng = Rng.create 12 in
+  for _ = 1 to 10_000 do
+    let i, j = Rng.distinct_pair rng 6 in
+    Alcotest.(check bool) "distinct and in range" true
+      (i <> j && i >= 0 && i < 6 && j >= 0 && j < 6)
+  done
+
+let test_distinct_pair_covers_all_ordered_pairs () =
+  let rng = Rng.create 13 in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 5_000 do
+    Hashtbl.replace seen (Rng.distinct_pair rng 3) ()
+  done;
+  Alcotest.(check int) "all 6 ordered pairs of 3 occur" 6 (Hashtbl.length seen)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 14 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted
+
+let test_sample_indices_distinct () =
+  let rng = Rng.create 15 in
+  for _ = 1 to 500 do
+    let picks = Rng.sample_indices rng ~n:20 ~k:7 in
+    let set = List.sort_uniq compare (Array.to_list picks) in
+    Alcotest.(check int) "7 distinct" 7 (List.length set);
+    List.iter
+      (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 20))
+      set
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 16 in
+  let sum = ref 0. in
+  let n = 50_000 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 2.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_geometric_mean () =
+  let rng = Rng.create 17 in
+  let sum = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng 0.25
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* mean of failures-before-success = (1-p)/p = 3 *)
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.) < 0.1)
+
+let test_categorical_weights () =
+  let rng = Rng.create 18 in
+  let counts = Array.make 3 0 in
+  let n = 60_000 in
+  for _ = 1 to n do
+    let k = Rng.categorical rng [| 1.; 2.; 3. |] in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let frac i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "weight 1/6" true (Float.abs (frac 0 -. (1. /. 6.)) < 0.01);
+  Alcotest.(check bool) "weight 2/6" true (Float.abs (frac 1 -. (2. /. 6.)) < 0.01);
+  Alcotest.(check bool) "weight 3/6" true (Float.abs (frac 2 -. (3. /. 6.)) < 0.01)
+
+let test_choose_singleton () =
+  let rng = Rng.create 19 in
+  Alcotest.(check int) "only element" 5 (Rng.choose rng [| 5 |])
+
+(* Property tests *)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_distinct_pair =
+  QCheck.Test.make ~name:"distinct_pair yields distinct indices" ~count:500
+    QCheck.(pair small_int (int_range 2 100))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let i, j = Rng.distinct_pair rng n in
+      i <> j && i < n && j < n)
+
+let prop_sample_indices =
+  QCheck.Test.make ~name:"sample_indices are distinct and bounded" ~count:200
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let k = 1 + (seed mod n) in
+      let picks = Rng.sample_indices rng ~n ~k in
+      Array.length picks = k
+      && List.length (List.sort_uniq compare (Array.to_list picks)) = k
+      && Array.for_all (fun x -> x >= 0 && x < n) picks)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy preserves state" `Quick test_copy_preserves_state;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "int bound validation" `Quick test_int_bounds_rejected;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "int_range bounds" `Quick test_int_range;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "distinct_pair validity" `Quick test_distinct_pair;
+    Alcotest.test_case "distinct_pair coverage" `Quick test_distinct_pair_covers_all_ordered_pairs;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sample_indices distinct" `Quick test_sample_indices_distinct;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "categorical weights" `Quick test_categorical_weights;
+    Alcotest.test_case "choose singleton" `Quick test_choose_singleton;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_distinct_pair;
+    QCheck_alcotest.to_alcotest prop_sample_indices;
+  ]

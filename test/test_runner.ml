@@ -1,0 +1,220 @@
+(* Tests for the system runner: sequential and timed execution, churn, the
+   Lemma 6.2 sum-degree invariant, and the Lemma 6.6 rate balance. *)
+
+module Runner = Sf_core.Runner
+module Protocol = Sf_core.Protocol
+module Topology = Sf_core.Topology
+module Digraph = Sf_graph.Digraph
+
+let small_config = Protocol.make_config ~view_size:12 ~lower_threshold:4
+
+let make_system ?(seed = 21) ?(n = 60) ?(loss = 0.) ?(config = small_config)
+    ?(out_degree = 4) () =
+  let rng = Sf_prng.Rng.create (seed + 1000) in
+  let topology = Topology.regular rng ~n ~out_degree in
+  Runner.create ~seed ~n ~loss_rate:loss ~config ~topology ()
+
+let test_create_applies_topology () =
+  let r = make_system () in
+  Alcotest.(check int) "node count" 60 (Runner.live_count r);
+  Array.iter
+    (fun node -> Alcotest.(check int) "initial outdegree" 4 (Protocol.degree node))
+    (Runner.live_nodes r);
+  let g = Runner.membership_graph r in
+  Alcotest.(check int) "edge count" (60 * 4) (Digraph.edge_count g);
+  Alcotest.(check bool) "connected" true (Digraph.is_weakly_connected g)
+
+let test_run_rounds_counts_actions () =
+  let r = make_system () in
+  Runner.run_rounds r 3;
+  Alcotest.(check int) "3 rounds = 3n actions" (3 * 60) (Runner.action_count r)
+
+let test_determinism () =
+  let degrees r =
+    Array.to_list (Array.map Protocol.degree (Runner.live_nodes r))
+  in
+  let a = make_system ~seed:5 () in
+  let b = make_system ~seed:5 () in
+  Runner.run_rounds a 20;
+  Runner.run_rounds b 20;
+  Alcotest.(check (list int)) "identical evolutions" (degrees a) (degrees b);
+  Alcotest.(check bool) "graphs identical" true
+    (Digraph.equal (Runner.membership_graph a) (Runner.membership_graph b))
+
+(* Lemma 6.2: with no loss, dL = 0, and ds(u) <= s initially, the sum degree
+   of every node is invariant. *)
+let test_sum_degree_invariant_lemma_6_2 () =
+  let config = Protocol.make_config ~view_size:12 ~lower_threshold:0 in
+  (* regular topology with out_degree 4: ds(u) = 4 + 2*4 = 12 = s. *)
+  let r = make_system ~config ~out_degree:4 ~loss:0. () in
+  let sum_degrees r =
+    let g = Runner.membership_graph r in
+    List.sort compare
+      (List.map (fun u -> (u, Digraph.sum_degree g u)) (Digraph.vertices g))
+  in
+  let before = sum_degrees r in
+  List.iter
+    (fun (_, ds) -> Alcotest.(check int) "initial ds = 12" 12 ds)
+    before;
+  Runner.run_rounds r 50;
+  Alcotest.(check bool) "sum degrees invariant over 50 rounds" true
+    (before = sum_degrees r);
+  let counters = Runner.world_counters r in
+  Alcotest.(check int) "no duplications" 0 counters.Runner.duplications;
+  Alcotest.(check int) "no deletions" 0 counters.Runner.deletions
+
+(* Observation 5.1 at system level: every outdegree even and within [0, s]
+   at all times, with and without loss. *)
+let test_observation_5_1_under_loss () =
+  let r = make_system ~loss:0.2 () in
+  for _ = 1 to 40 do
+    Runner.run_rounds r 1;
+    Array.iter
+      (fun node ->
+        let d = Protocol.degree node in
+        Alcotest.(check bool) "even and bounded" true (d mod 2 = 0 && d >= 0 && d <= 12))
+      (Runner.live_nodes r)
+  done
+
+(* Lemma 6.6: in the steady state, duplication rate = loss + deletion rate
+   (per send). *)
+let test_lemma_6_6_rate_balance () =
+  let r = make_system ~n:300 ~loss:0.05 () in
+  Runner.run_rounds r 200;
+  let base = Runner.world_counters r in
+  Runner.run_rounds r 400;
+  let rates = Runner.rates_since r base in
+  let lhs = rates.Runner.duplication in
+  let rhs = rates.Runner.loss +. rates.Runner.deletion in
+  Alcotest.(check bool)
+    (Printf.sprintf "dup %.4f vs loss+del %.4f" lhs rhs)
+    true
+    (Float.abs (lhs -. rhs) < 0.01)
+
+let test_counters_consistency () =
+  let r = make_system ~loss:0.1 () in
+  Runner.run_rounds r 30;
+  let c = Runner.world_counters r in
+  Alcotest.(check int) "actions = self loops + sends" c.Runner.actions
+    (c.Runner.self_loops + c.Runner.sends);
+  Alcotest.(check bool) "receipts = sends - lost" true
+    (c.Runner.receipts = c.Runner.sends - c.Runner.messages_lost);
+  Alcotest.(check bool) "duplications <= sends" true (c.Runner.duplications <= c.Runner.sends)
+
+let test_add_node () =
+  let r = make_system () in
+  Runner.run_rounds r 5;
+  let bootstrap = Runner.bootstrap_from r ~count:4 in
+  Alcotest.(check int) "bootstrap size" 4 (List.length bootstrap);
+  let id = Runner.add_node r ~bootstrap in
+  Alcotest.(check int) "fresh id" 60 id;
+  Alcotest.(check int) "count up" 61 (Runner.live_count r);
+  (match Runner.find_node r id with
+  | Some node -> Alcotest.(check int) "joiner outdegree" 4 (Protocol.degree node)
+  | None -> Alcotest.fail "joiner not found");
+  (* The joiner participates; with outdegree 4 of 12 slots its send rate is
+     d(d-1)/(s(s-1)) ~ 0.09 per round, so 80 rounds make a missing
+     reinforcement astronomically unlikely. *)
+  Runner.run_rounds r 80;
+  Alcotest.(check bool) "joiner gains indegree eventually" true
+    (Runner.count_id_instances r id > 0)
+
+let test_remove_node () =
+  let r = make_system () in
+  let victim = (Runner.random_live_node r).Protocol.node_id in
+  (match Runner.remove_node r victim with
+  | Some _ -> ()
+  | None -> Alcotest.fail "victim was live");
+  Alcotest.(check int) "count down" 59 (Runner.live_count r);
+  Alcotest.(check bool) "double remove" true (Runner.remove_node r victim = None);
+  (* Instances of the departed id decay to zero (erosion, section 6.5.2):
+     with no loss and a positive dL this takes a bounded number of rounds. *)
+  Runner.run_rounds r 2000;
+  Alcotest.(check int) "departed id eroded" 0 (Runner.count_id_instances r victim)
+
+let test_timed_mode_progress () =
+  let r = make_system ~n:40 () in
+  Runner.start_timed r (Runner.Poisson 1.0);
+  Runner.run_until r 50.;
+  (* In 50 time units at rate 1, about 2000 actions should have happened. *)
+  let actions = Runner.action_count r in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d actions in 50 units" actions)
+    true
+    (actions > 1000 && actions < 3000);
+  let net = Runner.network_statistics r in
+  Alcotest.(check bool) "messages flowed" true (net.Sf_engine.Network.messages_sent > 0)
+
+let test_timed_mode_periodic () =
+  let r = make_system ~n:20 () in
+  Runner.start_timed r (Runner.Periodic 1.0);
+  Runner.run_until r 10.5;
+  (* Each node fires about 10 times. *)
+  let actions = Runner.action_count r in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d actions" actions)
+    true
+    (actions >= 20 * 9 && actions <= 20 * 12)
+
+let test_timed_join_participates () =
+  let r = make_system ~n:20 () in
+  Runner.start_timed r (Runner.Periodic 1.0);
+  Runner.run_until r 5.;
+  let id = Runner.add_node r ~bootstrap:(Runner.bootstrap_from r ~count:4) in
+  let before = Runner.action_count r in
+  Runner.run_until r 30.;
+  Alcotest.(check bool) "system kept running" true (Runner.action_count r > before);
+  (match Runner.find_node r id with
+  | Some node ->
+    Alcotest.(check bool) "joiner initiated" true (node.Protocol.initiated_actions > 0)
+  | None -> Alcotest.fail "joiner vanished")
+
+let test_no_loss_conserves_edges () =
+  (* With loss = 0 and sequential actions, every send is delivered, so the
+     total number of entries changes only through duplication/deletion. *)
+  let config = Protocol.make_config ~view_size:12 ~lower_threshold:0 in
+  let r = make_system ~config ~loss:0. () in
+  let edges r = Digraph.edge_count (Runner.membership_graph r) in
+  let before = edges r in
+  Runner.run_rounds r 50;
+  Alcotest.(check int) "edges conserved" before (edges r)
+
+(* Exact edge ledger: every duplication creates 2 entries, every loss and
+   every deletion destroys 2, and ordinary transformations conserve — so at
+   any instant (sequential mode, no churn)
+
+     edges = initial + 2 (duplications - deletions - losses).
+
+   This accounts for every entry in the system exactly, across any loss
+   rate and any schedule. *)
+let prop_edge_ledger =
+  QCheck.Test.make ~name:"exact edge ledger" ~count:25
+    QCheck.(pair small_int (int_range 0 30))
+    (fun (seed, loss_percent) ->
+      let loss = float_of_int loss_percent /. 100. in
+      let r = make_system ~seed:(seed + 1) ~n:80 ~loss () in
+      let initial = Digraph.edge_count (Runner.membership_graph r) in
+      Runner.run_rounds r 40;
+      let c = Runner.world_counters r in
+      let expected =
+        initial + (2 * (c.Runner.duplications - c.Runner.deletions - c.Runner.messages_lost))
+      in
+      Digraph.edge_count (Runner.membership_graph r) = expected)
+
+let suite =
+  [
+    Alcotest.test_case "topology applied" `Quick test_create_applies_topology;
+    QCheck_alcotest.to_alcotest prop_edge_ledger;
+    Alcotest.test_case "round accounting" `Quick test_run_rounds_counts_actions;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "Lemma 6.2 sum-degree invariant" `Quick test_sum_degree_invariant_lemma_6_2;
+    Alcotest.test_case "Observation 5.1 under loss" `Quick test_observation_5_1_under_loss;
+    Alcotest.test_case "Lemma 6.6 rate balance" `Quick test_lemma_6_6_rate_balance;
+    Alcotest.test_case "counter consistency" `Quick test_counters_consistency;
+    Alcotest.test_case "join" `Quick test_add_node;
+    Alcotest.test_case "leave and erosion" `Quick test_remove_node;
+    Alcotest.test_case "timed mode (Poisson)" `Quick test_timed_mode_progress;
+    Alcotest.test_case "timed mode (periodic)" `Quick test_timed_mode_periodic;
+    Alcotest.test_case "timed join" `Quick test_timed_join_participates;
+    Alcotest.test_case "no-loss edge conservation" `Quick test_no_loss_conserves_edges;
+  ]
