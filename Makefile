@@ -1,0 +1,27 @@
+# Convenience wrappers around dune; CI runs the same three gates.
+
+.PHONY: all build lint test check bench clean
+
+all: lint build test
+
+build:
+	dune build
+
+lint:
+	dune build @lint
+
+test:
+	dune runtest
+
+# A fully audited simulation: every S&F action checked against the paper's
+# invariants (M1 degree bounds, edge conservation, the dL duplication rule),
+# with periodic full scans.  Nonzero exit on any violation.
+check: build
+	dune exec bin/sfg.exe -- check --n 1000 --rounds 50 --loss 0.0
+	dune exec bin/sfg.exe -- check --n 1000 --rounds 50 --loss 0.2
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -127,7 +127,7 @@ let ablation_duplication () =
           edges r)
         [ 200; 200; 400; 400 ]
     in
-    (initial, checkpoints, Properties.is_weakly_connected r)
+    (initial, Array.of_list checkpoints, Properties.is_weakly_connected r)
   in
   let i0, with_dup, conn_dup = run 18 51 in
   let j0, without_dup, conn_nodup = run 0 52 in
@@ -138,15 +138,13 @@ let ablation_duplication () =
         (fun idx rounds ->
           [
             Output.i rounds;
-            Output.i (List.nth with_dup idx);
-            Output.i (List.nth without_dup idx);
+            Output.i with_dup.(idx);
+            Output.i without_dup.(idx);
           ])
         [ 200; 400; 800; 1200 ]);
   Fmt.pr "  connectivity after 1200 rounds: dL=18 %b, dL=0 %b@." conn_dup conn_nodup;
-  Output.check "duplication preserves the edge population"
-    (List.nth with_dup 3 > i0 / 2);
-  Output.check "without duplication the edges drain away"
-    (List.nth without_dup 3 < j0 / 2)
+  Output.check "duplication preserves the edge population" (with_dup.(3) > i0 / 2);
+  Output.check "without duplication the edges drain away" (without_dup.(3) < j0 / 2)
 
 (* The section 5 joining/reconnection rule under severe churn: without it,
    nodes whose neighborhoods die out isolate permanently; with it, probing

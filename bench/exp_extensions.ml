@@ -346,7 +346,7 @@ let partition_healing () =
     [ "round (cumulative)"; "cross-partition view fraction" ]
     (List.map (fun (round, f) -> [ Output.i round; Output.f3 f ]) points);
   Fmt.pr "  before bridging: %.4f@." before;
-  let _, final = List.nth points (List.length points - 1) in
+  let final = match List.rev points with (_, f) :: _ -> f | [] -> 0. in
   Output.check
     (Fmt.str "views blend toward the uniform 0.5 cross fraction (%.3f)" final)
     (final > 0.4 && final < 0.6);

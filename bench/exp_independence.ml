@@ -180,7 +180,9 @@ let table_7_15 () =
            Output.f3 (survival ** float_of_int rounds);
          ])
        points);
-  let final_rounds, final = List.nth points (List.length points - 1) in
+  let final_rounds, final =
+    match List.rev points with p :: _ -> p | [] -> (0, 1.)
+  in
   Output.check
     (Fmt.str "dependence on the starting state decays (%.3f left after %d rounds)"
        final final_rounds)

@@ -40,7 +40,9 @@ let experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    match Array.to_list Sys.argv with [] -> [] | _exe :: rest -> rest
+  in
   match args with
   | [ "--list" ] ->
     List.iter (fun (id, _) -> Fmt.pr "%s@." id) experiments

@@ -475,6 +475,49 @@ let udp_cmd =
       const udp $ seed_arg $ n_small $ view_size_arg $ lower_threshold_arg $ loss_arg
       $ duration $ base_port)
 
+(* --- check --- *)
+
+let check seed n view_size lower_threshold loss rounds warn scan_every =
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  let mode = if warn then Sf_check.Invariant.Warn else Sf_check.Invariant.Strict in
+  match Sf_check.Invariant.audited_run ~mode ~scan_every r ~rounds with
+  | exception Sf_check.Invariant.Violation v ->
+    Fmt.epr "invariant violation after %d actions: %a@." (Runner.action_count r)
+      Sf_check.Invariant.pp_violation v;
+    exit 1
+  | stats ->
+    Fmt.pr "actions audited:   %d@." stats.Sf_check.Invariant.actions_checked;
+    Fmt.pr "full scans:        %d@." stats.Sf_check.Invariant.full_scans;
+    Fmt.pr "baseline resyncs:  %d@." stats.Sf_check.Invariant.resyncs;
+    Fmt.pr "violations:        %d@." stats.Sf_check.Invariant.violation_count;
+    List.iter
+      (fun v -> Fmt.pr "  %a@." Sf_check.Invariant.pp_violation v)
+      (List.rev stats.Sf_check.Invariant.violations);
+    print_system_state r;
+    if stats.Sf_check.Invariant.violation_count > 0 then exit 1
+
+let check_cmd =
+  let warn =
+    Arg.(
+      value & flag
+      & info [ "warn" ] ~doc:"Log violations and keep running instead of failing fast.")
+  in
+  let scan_every =
+    Arg.(
+      value & opt int 1000
+      & info [ "scan-every" ] ~docv:"K"
+          ~doc:"Full structural scan (serial uniqueness, view soundness) every K actions.")
+  in
+  let doc =
+    "Run a fully audited simulation: every S\\&F action is checked against the \
+     paper's invariants (M1 degree bounds, edge conservation, the dL duplication \
+     rule, view soundness).  Exits nonzero on any violation."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const check $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ rounds_arg 100 $ warn $ scan_every)
+
 (* --- sessions --- *)
 
 let sessions seed n view_size lower_threshold loss rounds mean_lifetime pareto =
@@ -566,6 +609,7 @@ let () =
         walk_cmd;
         quality_cmd;
         mixing_cmd;
+        check_cmd;
         udp_cmd;
         sessions_cmd;
         spread_cmd;

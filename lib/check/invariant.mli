@@ -1,0 +1,80 @@
+(** Runtime audit of the paper's invariants.
+
+    Encodes the guarantees the analysis relies on as checkable predicates
+    and threads them through a running {!Sf_core.Runner} via its audit
+    hook (and {!Sf_engine.Sim.set_monitor} for timed runs):
+
+    - {b M1 / Observation 5.1}: every outdegree stays within [[0, s]], and
+      even for systems started from an even topology;
+    - {b degree conservation}: a loss-free, non-duplicating action moves
+      exactly two edges from sender to receiver (global edge count
+      unchanged); duplication adds two, loss/deletion removes two — the
+      balance behind Lemma 6.6;
+    - {b the dL rule} (section 6.3): an action duplicates iff the sender's
+      outdegree was at or below dL at initiation;
+    - {b view soundness}: cached degrees match occupied slots, serials are
+      globally unique and below the mint bound, birth times never exceed
+      the action clock.
+
+    Per-action checks cost O(live nodes); full scans cost O(live × s) and
+    run every [scan_every] actions. *)
+
+type mode =
+  | Warn    (** log violations via [Logs] and keep counting *)
+  | Strict  (** raise {!Violation} on the first one *)
+
+type violation = { invariant : string; detail : string }
+
+exception Violation of violation
+
+val pp_violation : violation Fmt.t
+
+(** {2 Pure checks} *)
+
+val check_view : Sf_core.View.t -> violation option
+(** Structural soundness of one view: cached degree = occupied slots. *)
+
+val check_degree :
+  ?require_even:bool ->
+  config:Sf_core.Protocol.config ->
+  Sf_core.Protocol.node ->
+  violation option
+(** M1 bounds (and parity) for one node. *)
+
+val total_edges : Sf_core.Runner.t -> int
+(** Global edge count: the sum of live outdegrees. *)
+
+val scan : ?require_even:bool -> Sf_core.Runner.t -> violation list
+(** Full structural scan of a system; empty means every invariant holds. *)
+
+(** {2 Attached audit} *)
+
+type stats = {
+  mutable actions_checked : int;
+  mutable receipts_seen : int;
+  mutable full_scans : int;
+  mutable resyncs : int;
+  mutable violation_count : int;
+  mutable violations : violation list;
+      (** newest first; bounded to the first 100 in [Warn] mode *)
+}
+
+val attach :
+  ?mode:mode -> ?scan_every:int -> ?require_even:bool -> Sf_core.Runner.t -> stats
+(** Install the auditor on a runner.  Defaults: [Strict], a full scan every
+    1000 actions, parity required.  Returns live statistics.  Degree
+    conservation is only checked while actions are serial; it disarms
+    itself when timed-mode deliveries interleave. *)
+
+val detach : Sf_core.Runner.t -> unit
+(** Remove the auditor and the sim monitor. *)
+
+val audited_run :
+  ?mode:mode ->
+  ?scan_every:int ->
+  ?require_even:bool ->
+  Sf_core.Runner.t ->
+  rounds:int ->
+  stats
+(** [attach], run [rounds] sequential rounds, final full scan, [detach]
+    (also on exception). *)

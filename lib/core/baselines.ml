@@ -31,7 +31,6 @@ type node = { id : int; view : View.t }
 
 type t = {
   kind : kind;
-  view_size : int;
   loss_rate : float;
   rng : Sf_prng.Rng.t;
   nodes : node array;
@@ -52,7 +51,6 @@ let create ~seed ~n ~view_size ~loss_rate ~kind ~topology =
   let t =
     {
       kind;
-      view_size;
       loss_rate;
       rng;
       nodes = Array.init n (fun id -> { id; view = View.create view_size });

@@ -17,6 +17,37 @@
 
 type scheduling = Poisson of float | Periodic of float
 
+(* --- Audit events ---
+
+   Every action (and, in timed mode, every delivery) is reported to an
+   optional audit callback with enough context to re-check the paper's
+   invariants from outside: the initiator's outdegree before and after, the
+   duplication decision, and the fate of the message.  [Sf_check.Invariant]
+   is the standard consumer; the runner itself never interprets events. *)
+
+type delivery =
+  | Accepted   (* placed in the receiver's view *)
+  | Deleted    (* receiver full: both ids dropped *)
+  | Lost       (* eaten by the network *)
+  | To_dead    (* destination has no live handler *)
+  | In_flight  (* timed mode: outcome not yet known *)
+
+type action_outcome =
+  | Audit_self_loop
+  | Audit_send of { destination : int; duplicated : bool; delivery : delivery }
+
+type audit_event =
+  | Action of {
+      initiator : int;
+      degree_before : int;
+      degree_after : int;
+      outcome : action_outcome;
+    }
+  | Receipt of { receiver : int; accepted : bool }
+      (** timed-mode delivery, asynchronous w.r.t. actions *)
+  | Structural of string
+      (** join/leave/reconnect/rebootstrap: edge totals changed out of band *)
+
 type t = {
   config : Protocol.config;
   scheduler_rng : Sf_prng.Rng.t;  (* picks initiators and timing *)
@@ -36,7 +67,15 @@ type t = {
   mutable total_duplications : int;
   mutable total_receipts : int;
   mutable total_deletions : int;
+  (* Audit plumbing. *)
+  mutable audit : (t -> audit_event -> unit) option;
+  mutable last_receive : Protocol.receive_result option;
+  mutable suppress_receipt : bool;  (* true inside a synchronous send *)
 }
+
+let set_audit t audit = t.audit <- audit
+
+let emit t event = match t.audit with Some f -> f t event | None -> ()
 
 let fresh_serial t () =
   let s = t.next_serial in
@@ -45,17 +84,28 @@ let fresh_serial t () =
 
 let handler t node message =
   t.total_receipts <- t.total_receipts + 1;
-  match Protocol.receive t.config t.protocol_rng node message with
+  let result = Protocol.receive t.config t.protocol_rng node message in
+  t.last_receive <- Some result;
+  (match result with
   | Protocol.Accepted -> ()
-  | Protocol.Deleted -> t.total_deletions <- t.total_deletions + 1
+  | Protocol.Deleted -> t.total_deletions <- t.total_deletions + 1);
+  (* Synchronous deliveries are reported inside the enclosing action
+     event; only asynchronous (timed-mode) deliveries stand alone. *)
+  if not t.suppress_receipt then
+    emit t
+      (Receipt
+         {
+           receiver = node.Protocol.node_id;
+           accepted = (result = Protocol.Accepted);
+         })
 
 let install_node t node =
   Hashtbl.replace t.nodes node.Protocol.node_id node;
   Sf_engine.Network.register t.network node.Protocol.node_id (handler t node);
   t.live_dirty <- true
 
-let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ~seed ~n
-    ~loss_rate ~config ~topology () =
+let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?audit
+    ~seed ~n ~loss_rate ~config ~topology () =
   let root = Sf_prng.Rng.create seed in
   let scheduler_rng = Sf_prng.Rng.split root in
   let protocol_rng = Sf_prng.Rng.split root in
@@ -83,6 +133,9 @@ let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ~see
       total_duplications = 0;
       total_receipts = 0;
       total_deletions = 0;
+      audit;
+      last_receive = None;
+      suppress_receipt = false;
     }
   in
   for u = 0 to n - 1 do
@@ -101,6 +154,7 @@ let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ~see
 
 let config t = t.config
 let action_count t = t.actions
+let minted_serials t = t.next_serial
 let live_count t = Hashtbl.length t.nodes
 let network_statistics t = Sf_engine.Network.statistics t.network
 let simulator t = t.sim
@@ -124,19 +178,56 @@ let random_live_node t =
 
 (* One initiate step at [node]; the transport depends on the mode. *)
 let initiate_at t ~synchronous node =
+  let degree_before = Protocol.degree node in
   let result =
     Protocol.initiate t.config t.protocol_rng ~fresh_serial:(fresh_serial t)
       ~clock:t.actions node
   in
   t.actions <- t.actions + 1;
-  (match result with
-  | Protocol.Self_loop -> t.total_self_loops <- t.total_self_loops + 1
-  | Protocol.Send { destination; message; duplicated } ->
-    t.total_sends <- t.total_sends + 1;
-    if duplicated then t.total_duplications <- t.total_duplications + 1;
-    if synchronous then
-      ignore (Sf_engine.Network.send_immediate t.network ~dst:destination message)
-    else Sf_engine.Network.send t.network ~dst:destination message);
+  let outcome =
+    match result with
+    | Protocol.Self_loop ->
+      t.total_self_loops <- t.total_self_loops + 1;
+      Audit_self_loop
+    | Protocol.Send { destination; message; duplicated } ->
+      t.total_sends <- t.total_sends + 1;
+      if duplicated then t.total_duplications <- t.total_duplications + 1;
+      let delivery =
+        if synchronous then begin
+          let lost_before =
+            (Sf_engine.Network.statistics t.network).Sf_engine.Network.messages_lost
+          in
+          t.suppress_receipt <- true;
+          t.last_receive <- None;
+          let delivered =
+            Sf_engine.Network.send_immediate t.network ~dst:destination message
+          in
+          t.suppress_receipt <- false;
+          let lost_after =
+            (Sf_engine.Network.statistics t.network).Sf_engine.Network.messages_lost
+          in
+          if delivered then
+            match t.last_receive with
+            | Some Protocol.Deleted -> Deleted
+            | Some Protocol.Accepted | None -> Accepted
+          else if lost_after > lost_before then Lost
+          else To_dead
+        end
+        else begin
+          Sf_engine.Network.send t.network ~dst:destination message;
+          In_flight
+        end
+      in
+      Audit_send { destination; duplicated; delivery }
+  in
+  emit t
+    (Action
+       {
+         initiator = node.Protocol.node_id;
+         degree_before;
+         degree_after = Protocol.degree node;
+         outcome;
+       });
   result
 
 (* --- Sequential-action mode --- *)
@@ -198,6 +289,7 @@ let add_node t ~bootstrap =
     bootstrap;
   install_node t node;
   (match t.timed with Some s -> schedule_node t s node | None -> ());
+  emit t (Structural "add_node");
   id
 
 let remove_node t id =
@@ -207,6 +299,7 @@ let remove_node t id =
     Hashtbl.remove t.nodes id;
     Sf_engine.Network.unregister t.network id;
     t.live_dirty <- true;
+    emit t (Structural "remove_node");
     Some node
 
 (* Bootstrap ids for a joiner: a copy of (a prefix of) a random live node's
@@ -299,6 +392,7 @@ let reconnect t ~node_id =
             (* Keep the outdegree even (Observation 5.1). *)
             if View.degree node.Protocol.view mod 2 = 1 then
               install donor.Protocol.node_id;
+            emit t (Structural "reconnect");
             Reconnected
               { donor = donor.Protocol.node_id; probes = !probes; installed = !installed }
           end
@@ -351,6 +445,7 @@ let rebootstrap t ~node_id =
     install donor.Protocol.node_id;
     List.iter (fun (e : View.entry) -> install e.View.id) donated;
     if View.degree node.Protocol.view mod 2 = 1 then install donor.Protocol.node_id;
+    emit t (Structural "rebootstrap");
     !installed
 
 (* A node is starved when its view holds no live id: every send is wasted.

@@ -11,9 +11,44 @@ type scheduling =
   | Poisson of float   (** initiations as a Poisson process with this rate *)
   | Periodic of float  (** fixed period with small jitter *)
 
+(** {2 Audit events}
+
+    An optional audit callback observes every action with enough context to
+    re-check the paper's invariants from outside the runner: the initiator's
+    outdegree before and after, the duplication decision, and the fate of
+    the message.  [Sf_check.Invariant] is the standard consumer. *)
+
+type delivery =
+  | Accepted   (** placed in the receiver's view *)
+  | Deleted    (** receiver full: both ids dropped *)
+  | Lost       (** eaten by the network *)
+  | To_dead    (** destination has no live handler *)
+  | In_flight  (** timed mode: outcome not yet known *)
+
+type action_outcome =
+  | Audit_self_loop
+  | Audit_send of { destination : int; duplicated : bool; delivery : delivery }
+
+type audit_event =
+  | Action of {
+      initiator : int;
+      degree_before : int;
+      degree_after : int;
+      outcome : action_outcome;
+    }
+  | Receipt of { receiver : int; accepted : bool }
+      (** timed-mode delivery, asynchronous w.r.t. actions *)
+  | Structural of string
+      (** join/leave/reconnect/rebootstrap: edge totals changed out of band *)
+
+val set_audit : t -> (t -> audit_event -> unit) option -> unit
+(** Install (or clear) the audit callback.  The callback runs after the
+    reported transition has fully taken effect. *)
+
 val create :
   ?latency:(Sf_prng.Rng.t -> float) ->
   ?destination_loss:(int -> float) ->
+  ?audit:(t -> audit_event -> unit) ->
   seed:int ->
   n:int ->
   loss_rate:float ->
@@ -28,6 +63,10 @@ val config : t -> Protocol.config
 
 val action_count : t -> int
 (** Initiate steps executed so far. *)
+
+val minted_serials : t -> int
+(** Instance serials handed out so far; every serial stored in any view is
+    strictly below this bound. *)
 
 val live_count : t -> int
 val live_nodes : t -> Protocol.node array

@@ -7,10 +7,21 @@ type t = {
   mutable now : float;
   mutable executed : int;
   mutable stopped : bool;
+  (* Post-event hook: runs after every executed event.  Used by the
+     Sf_check audit layer to interleave invariant scans with timed runs. *)
+  mutable monitor : (unit -> unit) option;
 }
 
 let create () =
-  { queue = Event_queue.create (); now = 0.; executed = 0; stopped = false }
+  {
+    queue = Event_queue.create ();
+    now = 0.;
+    executed = 0;
+    stopped = false;
+    monitor = None;
+  }
+
+let set_monitor t monitor = t.monitor <- monitor
 
 let now t = t.now
 
@@ -46,6 +57,7 @@ let run ?(horizon = infinity) ?(max_events = max_int) t =
           t.now <- time;
           t.executed <- t.executed + 1;
           f ();
+          (match t.monitor with Some m -> m () | None -> ());
           loop ())
   in
   let outcome = loop () in

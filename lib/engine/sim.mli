@@ -17,6 +17,10 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 val stop : t -> unit
 (** Request the run loop to stop after the current event. *)
 
+val set_monitor : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook that runs after every executed event — the
+    attachment point for runtime audits such as [Sf_check.Invariant]. *)
+
 val pending : t -> int
 (** Number of queued events. *)
 

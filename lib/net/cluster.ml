@@ -18,7 +18,6 @@
 type node_state = {
   node : Sf_core.Protocol.node;
   socket : Unix.file_descr;
-  port : int;
   mutable next_fire : float;
 }
 
@@ -27,6 +26,10 @@ type t = {
   base_port : int;
   period : float;
   loss_rate : float;
+  (* Injected clock: tests drive virtual time; production uses the wall
+     clock.  The only wall-clock dependence in the whole tree sits in this
+     default. *)
+  now : unit -> float;
   rng : Sf_prng.Rng.t;
   nodes : node_state array;
   read_buffer : bytes;
@@ -47,7 +50,8 @@ let fresh_serial t =
   t.next_serial <- s + 1;
   s
 
-let create ?(period = 0.01) ~base_port ~n ~config ~loss_rate ~seed ~topology () =
+let create ?(period = 0.01) ?(now = Unix.gettimeofday) ~base_port ~n ~config
+    ~loss_rate ~seed ~topology () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one node";
   if base_port < 1024 || base_port + n > 65_535 then
     invalid_arg "Cluster.create: port range out of bounds";
@@ -58,6 +62,7 @@ let create ?(period = 0.01) ~base_port ~n ~config ~loss_rate ~seed ~topology () 
       base_port;
       period;
       loss_rate;
+      now;
       rng;
       nodes = [||];
       read_buffer = Bytes.create 512;
@@ -70,7 +75,7 @@ let create ?(period = 0.01) ~base_port ~n ~config ~loss_rate ~seed ~topology () 
       send_errors = 0;
     }
   in
-  let now = Unix.gettimeofday () in
+  let start = t.now () in
   let make_node node_id =
     let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
     Unix.set_nonblock socket;
@@ -91,9 +96,8 @@ let create ?(period = 0.01) ~base_port ~n ~config ~loss_rate ~seed ~topology () 
     {
       node;
       socket;
-      port = base_port + node_id;
       (* Stagger first firings across one period. *)
-      next_fire = now +. (period *. Sf_prng.Rng.float rng);
+      next_fire = start +. (period *. Sf_prng.Rng.float rng);
     }
   in
   let nodes = Array.init n make_node in
@@ -146,12 +150,12 @@ let drain t ns =
 
 (* Run the cluster for [duration] wall-clock seconds. *)
 let run t ~duration =
-  let deadline = Unix.gettimeofday () +. duration in
+  let deadline = t.now () +. duration in
   let sockets = Array.to_list (Array.map (fun ns -> ns.socket) t.nodes) in
   let by_socket = Hashtbl.create (Array.length t.nodes) in
   Array.iter (fun ns -> Hashtbl.replace by_socket ns.socket ns) t.nodes;
   let rec loop () =
-    let now = Unix.gettimeofday () in
+    let now = t.now () in
     if now >= deadline then ()
     else begin
       (* Fire all due timers, rescheduling with jitter. *)

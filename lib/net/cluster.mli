@@ -9,6 +9,7 @@ type t
 
 val create :
   ?period:float ->
+  ?now:(unit -> float) ->
   base_port:int ->
   n:int ->
   config:Sf_core.Protocol.config ->
@@ -20,7 +21,9 @@ val create :
 (** Bind [n] UDP sockets on 127.0.0.1 ports [base_port .. base_port+n-1]
     and seed the views from [topology]. [period] is the mean time between a
     node's initiations in seconds (default 10 ms). [loss_rate] is injected
-    at the sender (loopback UDP rarely drops on its own). *)
+    at the sender (loopback UDP rarely drops on its own). [now] is the
+    clock driving timers and deadlines — the wall clock by default; inject
+    a virtual clock to make runs time-deterministic in tests. *)
 
 val node_count : t -> int
 

@@ -1,0 +1,25 @@
+(** SplitMix64: a fast, well-distributed 64-bit generator, used here to
+    expand user seeds into full generator states for {!Rng}.
+
+    Reference: Steele, Lea and Flood, {e Fast splittable pseudorandom
+    number generators}, OOPSLA 2014.  The update adds the 64-bit golden
+    gamma [0x9E3779B97F4A7C15] (2{^64}/φ, forced odd) to the state and
+    finalizes it with the MurmurHash3-style mix of Appendix A — xor-shifts
+    by 30, 27 and 31 interleaved with multiplications by
+    [0xBF58476D1CE4E5B9] and [0x94D049BB133111EB]. *)
+
+type t
+
+val create : int64 -> t
+(** A generator whose state starts at the given seed. *)
+
+val of_int : int -> t
+(** [create] over a native int seed. *)
+
+val next : t -> int64
+(** Advance the state by the golden gamma and return its mixed image.
+    Every call yields a fresh value; the sequence has period 2{^64}. *)
+
+val expand : int64 -> int -> int64 array
+(** [expand seed n] is the first [n] outputs of a generator seeded with
+    [seed] — the seed-expansion helper behind {!Rng.create}. *)

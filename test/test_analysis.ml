@@ -280,7 +280,9 @@ let test_connectivity_via_loss () =
 
 let test_connectivity_monotonicity () =
   let get alpha epsilon =
-    Option.get (Connectivity.minimal_lower_threshold ~alpha ~epsilon ())
+    match Connectivity.minimal_lower_threshold ~alpha ~epsilon () with
+    | Some d -> d
+    | None -> Alcotest.fail "expected a threshold below the search cap"
   in
   Alcotest.(check bool) "stricter eps, larger dL" true (get 0.96 1e-40 >= get 0.96 1e-20);
   Alcotest.(check bool) "lower alpha, larger dL" true (get 0.8 1e-30 >= get 0.96 1e-30)

@@ -131,7 +131,9 @@ let test_reconnect_direct () =
       if !victim = None && candidate.Protocol.node_id <> node.Protocol.node_id then
         victim := Some candidate.Protocol.node_id)
     (Runner.live_nodes r);
-  let dead = Option.get !victim in
+  let dead =
+    match !victim with Some id -> id | None -> Alcotest.fail "no victim candidate"
+  in
   ignore (Runner.remove_node r dead);
   Sf_core.View.clear_all node.Protocol.view;
   Sf_core.View.set node.Protocol.view 0

@@ -1,0 +1,205 @@
+(* Tests for the sf_lint rule engine: every rule fires on a bad fixture,
+   stays quiet on a clean one, and the allowlist both suppresses findings
+   and reports its own stale entries. *)
+
+module Lint = Sf_lint_rules.Lint_rules
+
+let rules_of findings = List.map (fun f -> f.Lint.rule) findings
+
+let check_fires name ~rule ~path source =
+  let findings = Lint.check_file ~path source in
+  Alcotest.(check bool)
+    (name ^ ": fires " ^ rule)
+    true
+    (List.mem rule (rules_of findings))
+
+let check_quiet name ~path source =
+  let findings = Lint.check_file ~path source in
+  Alcotest.(check (list string)) (name ^ ": quiet") [] (rules_of findings)
+
+(* A representative clean library module: seeded randomness, logs-based
+   reporting, total stdlib calls only. *)
+let clean_module =
+  {|
+let pick rng xs = Sf_prng.Rng.choose rng xs
+
+let head = function [] -> None | x :: _ -> Some x
+
+let report ppf x = Fmt.pf ppf "value %d@." x
+|}
+
+(* --- determinism --- *)
+
+let test_determinism_fires () =
+  check_fires "ambient Random" ~rule:"determinism" ~path:"lib/core/bad.ml"
+    "let x = Random.int 10";
+  check_fires "wall clock" ~rule:"determinism" ~path:"lib/core/bad.ml"
+    "let t = Unix.gettimeofday ()";
+  check_fires "process clock" ~rule:"determinism" ~path:"lib/core/bad.ml"
+    "let t = Sys.time ()";
+  check_fires "polymorphic hash" ~rule:"determinism" ~path:"lib/core/bad.ml"
+    "let h = Hashtbl.hash key";
+  (* The rule also covers executables and benches, not just lib/. *)
+  check_fires "bench too" ~rule:"determinism" ~path:"bench/bad.ml"
+    "let x = Random.bool ()"
+
+let test_determinism_quiet () =
+  check_quiet "clean module" ~path:"lib/core/good.ml" clean_module;
+  (* Qualified submodules of other libraries do not match. *)
+  check_quiet "someone's Random submodule" ~path:"lib/core/good.ml"
+    "let x = Mylib.Random.int 10";
+  (* Mentions inside comments and strings are not code. *)
+  check_quiet "comment mention" ~path:"lib/core/good.ml"
+    "(* never call Random.int or Unix.gettimeofday here *)\nlet x = 1";
+  check_quiet "string mention" ~path:"lib/core/good.ml"
+    {|let usage = "do not use Sys.time"|};
+  check_quiet "nested comment" ~path:"lib/core/good.ml"
+    "(* outer (* Random.int *) still comment *)\nlet x = 1"
+
+(* --- no-obj-magic --- *)
+
+let test_obj_magic () =
+  check_fires "magic" ~rule:"no-obj-magic" ~path:"lib/core/bad.ml"
+    "let f (x : int) : string = Obj.magic x";
+  check_fires "magic in test code too" ~rule:"no-obj-magic" ~path:"test/bad.ml"
+    "let y = Obj.magic 0";
+  check_quiet "no magic" ~path:"lib/core/good.ml" clean_module
+
+(* --- no-partial --- *)
+
+let test_partial_fires () =
+  check_fires "List.hd" ~rule:"no-partial" ~path:"lib/core/bad.ml"
+    "let x = List.hd xs";
+  check_fires "List.tl" ~rule:"no-partial" ~path:"lib/core/bad.ml"
+    "let x = List.tl xs";
+  check_fires "List.nth" ~rule:"no-partial" ~path:"lib/core/bad.ml"
+    "let x = List.nth xs 3";
+  check_fires "Option.get" ~rule:"no-partial" ~path:"lib/core/bad.ml"
+    "let x = Option.get o"
+
+let test_partial_quiet_on_total_variants () =
+  check_quiet "List.nth_opt is total" ~path:"lib/core/good.ml"
+    "let x = List.nth_opt xs 3";
+  check_quiet "List.hd renamed elsewhere" ~path:"lib/core/good.ml"
+    "let x = MyList.hd xs"
+
+(* --- no-print --- *)
+
+let test_print_scoped_to_lib () =
+  check_fires "printf in lib" ~rule:"no-print" ~path:"lib/stats/bad.ml"
+    {|let () = Printf.printf "%d" 3|};
+  check_fires "print_endline in lib" ~rule:"no-print" ~path:"lib/stats/bad.ml"
+    {|let () = print_endline "hi"|};
+  (* Executables may print; the rule is about library hygiene. *)
+  check_quiet "print in bin is fine" ~path:"bin/tool.ml"
+    {|let () = print_endline "hi"|};
+  check_quiet "print in bench is fine" ~path:"bench/b.ml"
+    {|let () = Printf.printf "x"|}
+
+(* --- missing-mli --- *)
+
+let test_missing_mli () =
+  let findings =
+    Lint.check_missing_mli
+      [ "lib/core/a.ml"; "lib/core/a.mli"; "lib/core/b.ml"; "bin/main.ml" ]
+  in
+  Alcotest.(check (list string))
+    "only the uncovered lib module" [ "lib/core/b.ml" ]
+    (List.map (fun f -> f.Lint.path) findings);
+  Alcotest.(check (list string)) "rule id" [ "missing-mli" ] (rules_of findings)
+
+let test_check_files_combines () =
+  let findings =
+    Lint.check_files
+      [
+        ("lib/core/a.ml", "let x = List.hd xs");
+        ("lib/core/a.mli", "val x : int");
+        ("lib/core/b.ml", "let y = 1");
+      ]
+  in
+  let rules = List.sort_uniq compare (rules_of findings) in
+  Alcotest.(check (list string)) "token + file-set rules" [ "missing-mli"; "no-partial" ] rules
+
+(* --- line numbers --- *)
+
+let test_line_numbers () =
+  match Lint.check_file ~path:"lib/x/bad.ml" "let a = 1\nlet b = List.hd xs\n" with
+  | [ f ] -> Alcotest.(check int) "line 2" 2 f.Lint.line
+  | fs -> Alcotest.fail (Fmt.str "expected one finding, got %d" (List.length fs))
+
+(* --- allowlist --- *)
+
+let test_allowlist_parse () =
+  let content =
+    "# comment\n\nlib/net/cluster.ml determinism # trailing comment\nbench/main.ml *\n"
+  in
+  match Lint.parse_allowlist content with
+  | Ok [ a; b ] ->
+    Alcotest.(check string) "path" "lib/net/cluster.ml" a.Lint.allow_path;
+    Alcotest.(check string) "rule" "determinism" a.Lint.allow_rule;
+    Alcotest.(check string) "wildcard" "*" b.Lint.allow_rule
+  | Ok entries -> Alcotest.fail (Fmt.str "expected 2 entries, got %d" (List.length entries))
+  | Error e -> Alcotest.fail e
+
+let test_allowlist_rejects_garbage () =
+  match Lint.parse_allowlist "one two three\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_allowlist_suppresses () =
+  let findings = Lint.check_file ~path:"lib/core/bad.ml" "let x = Random.int 3" in
+  Alcotest.(check bool) "finding exists" true (findings <> []);
+  let allow = { Lint.allow_path = "lib/core/bad.ml"; allow_rule = "determinism" } in
+  let kept, stale = Lint.apply_allowlist [ allow ] findings in
+  Alcotest.(check (list string)) "suppressed" [] (rules_of kept);
+  Alcotest.(check int) "entry was used" 0 (List.length stale)
+
+let test_allowlist_is_rule_specific () =
+  let findings =
+    Lint.check_file ~path:"lib/core/bad.ml" "let x = Random.int (List.hd xs)"
+  in
+  let allow = { Lint.allow_path = "lib/core/bad.ml"; allow_rule = "determinism" } in
+  let kept, _ = Lint.apply_allowlist [ allow ] findings in
+  Alcotest.(check (list string)) "no-partial survives" [ "no-partial" ] (rules_of kept)
+
+let test_allowlist_reports_stale_entries () =
+  let allow = { Lint.allow_path = "lib/core/clean.ml"; allow_rule = "determinism" } in
+  let kept, stale = Lint.apply_allowlist [ allow ] [] in
+  Alcotest.(check int) "nothing kept" 0 (List.length kept);
+  Alcotest.(check int) "entry is stale" 1 (List.length stale)
+
+(* --- the real tree is clean ---
+
+   The authoritative run is `dune build @lint` (wired into CI); here we
+   spot-check the engine against two real sources to guard against the
+   stripper or tokenizer regressing in a way fixtures miss. *)
+
+let read path = In_channel.with_open_bin path In_channel.input_all
+
+let test_real_sources () =
+  let view = read "../lib/core/view.ml" in
+  check_quiet "lib/core/view.ml" ~path:"lib/core/view.ml" view;
+  let cluster = read "../lib/net/cluster.ml" in
+  let findings = Lint.check_file ~path:"lib/net/cluster.ml" cluster in
+  (* Exactly the one allowlisted wall-clock default survives the refactor. *)
+  Alcotest.(check (list string)) "single determinism site" [ "determinism" ]
+    (rules_of findings)
+
+let suite =
+  [
+    Alcotest.test_case "determinism fires" `Quick test_determinism_fires;
+    Alcotest.test_case "determinism quiet" `Quick test_determinism_quiet;
+    Alcotest.test_case "no-obj-magic" `Quick test_obj_magic;
+    Alcotest.test_case "no-partial fires" `Quick test_partial_fires;
+    Alcotest.test_case "no-partial quiet on _opt" `Quick test_partial_quiet_on_total_variants;
+    Alcotest.test_case "no-print scoped to lib" `Quick test_print_scoped_to_lib;
+    Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+    Alcotest.test_case "check_files combines rules" `Quick test_check_files_combines;
+    Alcotest.test_case "line numbers" `Quick test_line_numbers;
+    Alcotest.test_case "allowlist parse" `Quick test_allowlist_parse;
+    Alcotest.test_case "allowlist rejects garbage" `Quick test_allowlist_rejects_garbage;
+    Alcotest.test_case "allowlist suppresses" `Quick test_allowlist_suppresses;
+    Alcotest.test_case "allowlist is rule-specific" `Quick test_allowlist_is_rule_specific;
+    Alcotest.test_case "allowlist reports stale entries" `Quick test_allowlist_reports_stale_entries;
+    Alcotest.test_case "real sources" `Quick test_real_sources;
+  ]

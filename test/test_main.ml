@@ -20,4 +20,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("net", Test_net.suite);
       ("robustness", Test_robustness.suite);
+      ("lint", Test_lint.suite);
+      ("check", Test_check.suite);
     ]

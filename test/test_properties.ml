@@ -152,7 +152,7 @@ let test_overlap_decay_is_monotone_and_fast () =
     | _ -> true
   in
   Alcotest.(check bool) "non-increasing" true (monotone fractions);
-  let final = List.nth fractions (List.length fractions - 1) in
+  let final = match List.rev fractions with f :: _ -> f | [] -> 1. in
   (* Lemma 6.9-style geometric replacement: after 120 rounds with
      dL=4, s=12 the surviving fraction is far below a half. *)
   Alcotest.(check bool) (Printf.sprintf "final overlap %.3f" final) true (final < 0.2)

@@ -1,0 +1,292 @@
+(* The sf_lint rule engine: repo-specific static analysis over OCaml
+   sources, pure so the test suite can drive it on in-memory fixtures.
+
+   Rules are deliberately lexical — token scans over comment- and
+   string-stripped source — rather than AST-based: every hazard they police
+   (ambient randomness, wall clocks, partial stdlib calls, printing from
+   the library) is visible at the token level, and a lexical tool stays
+   trivially in sync with the compiler version.
+
+   Violations that are intentional are suppressed through an allowlist
+   file: one [path rule] pair per line, '#' comments.  Entries that no
+   longer match anything are themselves reported, so the allowlist cannot
+   rot. *)
+
+type finding = {
+  rule : string;
+  path : string;
+  line : int;  (* 1-based; 0 for file-level rules *)
+  message : string;
+}
+
+let pp_finding ppf f =
+  if f.line = 0 then Fmt.pf ppf "%s: [%s] %s" f.path f.rule f.message
+  else Fmt.pf ppf "%s:%d: [%s] %s" f.path f.line f.rule f.message
+
+(* --- Source stripping ---
+
+   Replace comment and string-literal contents with spaces, preserving
+   newlines so line numbers survive.  Handles nested (* *) comments,
+   strings inside comments (significant to the OCaml lexer), escapes, and
+   character literals (so '"' does not open a string). *)
+
+let strip_literals source =
+  let n = String.length source in
+  let out = Bytes.of_string source in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let rec code i =
+    if i >= n then ()
+    else
+      match source.[i] with
+      | '(' when i + 1 < n && source.[i + 1] = '*' ->
+        blank i;
+        blank (i + 1);
+        comment 1 (i + 2)
+      | '"' -> string ~in_comment:false (i + 1)
+      | '\'' when i + 2 < n && source.[i + 1] <> '\\' && source.[i + 2] = '\'' ->
+        (* 'c' character literal; blank the payload ('"' in particular). *)
+        blank (i + 1);
+        code (i + 3)
+      | '\'' when i + 3 < n && source.[i + 1] = '\\' && source.[i + 3] = '\'' ->
+        blank (i + 1);
+        blank (i + 2);
+        code (i + 4)
+      | _ -> code (i + 1)
+  (* [depth] is the enclosing comment nesting when [in_comment]. *)
+  and comment depth i =
+    if i >= n then ()
+    else
+      match source.[i] with
+      | '*' when i + 1 < n && source.[i + 1] = ')' ->
+        blank i;
+        blank (i + 1);
+        if depth = 1 then code (i + 2) else comment (depth - 1) (i + 2)
+      | '(' when i + 1 < n && source.[i + 1] = '*' ->
+        blank i;
+        blank (i + 1);
+        comment (depth + 1) (i + 2)
+      | '"' ->
+        blank i;
+        string ~in_comment:true ~depth (i + 1)
+      | _ ->
+        blank i;
+        comment depth (i + 1)
+  and string ?(depth = 0) ~in_comment i =
+    if i >= n then ()
+    else
+      match source.[i] with
+      | '\\' when i + 1 < n ->
+        blank i;
+        blank (i + 1);
+        string ~depth ~in_comment (i + 2)
+      | '"' ->
+        if in_comment then blank i;
+        if in_comment then comment depth (i + 1) else code (i + 1)
+      | _ ->
+        blank i;
+        string ~depth ~in_comment (i + 1)
+  in
+  code 0;
+  Bytes.to_string out
+
+(* --- Token scanning --- *)
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* Occurrences of [token] as a standalone qualified name: not preceded by an
+   identifier character or a '.' (which would make it a submodule of
+   something else), not followed by an identifier character (so [List.nth]
+   does not match [List.nth_opt]). *)
+let token_positions stripped token =
+  let n = String.length stripped and k = String.length token in
+  let ends_with_dot = token.[k - 1] = '.' in
+  let rec scan from acc =
+    match String.index_from_opt stripped from token.[0] with
+    | None -> List.rev acc
+    | Some i ->
+      if i + k > n then List.rev acc
+      else
+        let matches =
+          String.sub stripped i k = token
+          && (i = 0 || (not (is_ident_char stripped.[i - 1])) && stripped.[i - 1] <> '.')
+          && (ends_with_dot || i + k >= n || not (is_ident_char stripped.[i + k]))
+        in
+        scan (i + 1) (if matches then i :: acc else acc)
+  in
+  scan 0 []
+
+let line_of_position source pos =
+  let line = ref 1 in
+  for i = 0 to pos - 1 do
+    if source.[i] = '\n' then incr line
+  done;
+  !line
+
+(* --- Rules --- *)
+
+type rule = {
+  id : string;
+  doc : string;
+  applies : string -> bool;  (* repo-relative path *)
+  tokens : (string * string) list;  (* token, message *)
+}
+
+let in_lib path = String.length path >= 4 && String.sub path 0 4 = "lib/"
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let is_source path = is_ml path || Filename.check_suffix path ".mli"
+
+let rules =
+  [
+    {
+      id = "determinism";
+      doc =
+        "no ambient randomness or wall clocks: Random., Unix.gettimeofday, \
+         Sys.time, Hashtbl.hash (use sf_prng and injected clocks)";
+      applies = is_source;
+      tokens =
+        [
+          ("Random.", "ambient Random bypasses the seeded sf_prng generators");
+          ("Unix.gettimeofday", "wall clock breaks reproducibility; inject a clock");
+          ("Sys.time", "process clock breaks reproducibility; inject a clock");
+          ("Hashtbl.hash", "polymorphic hashing invites iteration-order dependence");
+        ];
+    };
+    {
+      id = "no-obj-magic";
+      doc = "Obj.magic is forbidden everywhere";
+      applies = is_source;
+      tokens = [ ("Obj.magic", "unsafe cast") ];
+    };
+    {
+      id = "no-partial";
+      doc =
+        "no partial stdlib calls: List.hd, List.tl, List.nth, Option.get \
+         (match explicitly or use the _opt variants)";
+      applies = is_source;
+      tokens =
+        [
+          ("List.hd", "partial: raises on []");
+          ("List.tl", "partial: raises on []");
+          ("List.nth", "partial: raises out of bounds");
+          ("Option.get", "partial: raises on None");
+        ];
+    };
+    {
+      id = "no-print";
+      doc = "no direct printing inside lib/ (use logs/fmt)";
+      applies = (fun path -> in_lib path && is_source path);
+      tokens =
+        [
+          ("Printf.printf", "prints to stdout from library code");
+          ("print_endline", "prints to stdout from library code");
+          ("print_string", "prints to stdout from library code");
+          ("print_newline", "prints to stdout from library code");
+        ];
+    };
+  ]
+
+let missing_mli_rule = "missing-mli"
+
+let rule_docs =
+  List.map (fun r -> (r.id, r.doc)) rules
+  @ [ (missing_mli_rule, "every lib/**/*.ml must have a matching .mli") ]
+
+(* --- Checking --- *)
+
+let check_file ~path source =
+  let applicable = List.filter (fun r -> r.applies path) rules in
+  if applicable = [] then []
+  else
+    let stripped = strip_literals source in
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun (token, message) ->
+            List.map
+              (fun pos ->
+                {
+                  rule = r.id;
+                  path;
+                  line = line_of_position stripped pos;
+                  message = Fmt.str "%s — %s" token message;
+                })
+              (token_positions stripped token))
+          r.tokens)
+      applicable
+
+(* File-set rule: every lib/**/*.ml needs a sibling .mli. *)
+let check_missing_mli paths =
+  let present = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace present p ()) paths;
+  List.filter_map
+    (fun p ->
+      if in_lib p && is_ml p && not (Hashtbl.mem present (p ^ "i")) then
+        Some
+          {
+            rule = missing_mli_rule;
+            path = p;
+            line = 0;
+            message = "library module has no interface file";
+          }
+      else None)
+    paths
+
+let check_files files =
+  let per_file =
+    List.concat_map (fun (path, source) -> check_file ~path source) files
+  in
+  per_file @ check_missing_mli (List.map fst files)
+
+(* --- Allowlist --- *)
+
+type allow = { allow_path : string; allow_rule : string }
+
+(* Lines of [path rule], '#' starts a comment, blank lines ignored. *)
+let parse_allowlist content =
+  let entries = ref [] and errors = ref [] in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [] -> ()
+      | [ path; rule ] -> entries := { allow_path = path; allow_rule = rule } :: !entries
+      | _ -> errors := Fmt.str "allowlist line %d: expected 'path rule'" (i + 1) :: !errors)
+    (String.split_on_char '\n' content);
+  match !errors with
+  | [] -> Ok (List.rev !entries)
+  | es -> Error (String.concat "; " (List.rev es))
+
+let allow_matches entry finding =
+  entry.allow_path = finding.path
+  && (entry.allow_rule = "*" || entry.allow_rule = finding.rule)
+
+(* Partition findings by the allowlist; also return entries that matched
+   nothing, which the driver reports as staleness errors. *)
+let apply_allowlist allows findings =
+  let used = Array.make (List.length allows) false in
+  let kept =
+    List.filter
+      (fun f ->
+        let allowed = ref false in
+        List.iteri
+          (fun i entry ->
+            if allow_matches entry f then begin
+              used.(i) <- true;
+              allowed := true
+            end)
+          allows;
+        not !allowed)
+      findings
+  in
+  let stale =
+    List.filteri (fun i _ -> not used.(i)) allows
+  in
+  (kept, stale)

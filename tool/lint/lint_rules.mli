@@ -1,0 +1,40 @@
+(** The sf_lint rule engine, pure so tests can drive it on in-memory
+    fixture sources.  See the [.ml] for the rationale of each rule. *)
+
+type finding = {
+  rule : string;
+  path : string;
+  line : int;  (** 1-based; 0 for file-level rules such as missing-mli *)
+  message : string;
+}
+
+val pp_finding : finding Fmt.t
+
+val strip_literals : string -> string
+(** Replace comment and string-literal contents with spaces, preserving
+    newlines (so positions map to the original line numbers). *)
+
+val rule_docs : (string * string) list
+(** [(id, one-line description)] for every rule, missing-mli included. *)
+
+val check_file : path:string -> string -> finding list
+(** Token rules applicable to [path] over one source. *)
+
+val check_missing_mli : string list -> finding list
+(** File-set rule over repo-relative paths: every [lib/**/*.ml] needs a
+    sibling [.mli]. *)
+
+val check_files : (string * string) list -> finding list
+(** [check_file] on each [(path, source)] plus [check_missing_mli] over the
+    path set. *)
+
+type allow = { allow_path : string; allow_rule : string }
+(** One allowlist entry; [allow_rule] may be ["*"]. *)
+
+val parse_allowlist : string -> (allow list, string) result
+(** Parse [path rule] lines; ['#'] starts a comment; blank lines ignored. *)
+
+val apply_allowlist : allow list -> finding list -> finding list * allow list
+(** Partition findings: those not suppressed by the allowlist, and the
+    allowlist entries that matched nothing (stale — the driver treats them
+    as errors so the allowlist cannot rot). *)

@@ -1,0 +1,93 @@
+(* sf_lint — repo-specific static analysis driver.
+
+   Usage: sf_lint [--allowlist FILE] [--list-rules] DIR...
+
+   Walks the given directories (skipping _build and dot-directories),
+   checks every .ml/.mli against the Lint_rules engine, subtracts the
+   allowlist, and exits nonzero if any finding survives or any allowlist
+   entry is stale.  Paths are reported relative to the working directory,
+   which is the workspace root under `dune build @lint`. *)
+
+module Lint_rules = Sf_lint_rules.Lint_rules
+
+let usage = "usage: sf_lint [--allowlist FILE] [--list-rules] DIR..."
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name ->
+        if name = "_build" || (String.length name > 0 && name.[0] = '.') then acc
+        else walk acc (Filename.concat path name))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+    path :: acc
+  else acc
+
+let normalize path =
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let () =
+  let allowlist_file = ref None in
+  let roots = ref [] in
+  let list_rules = ref false in
+  let spec =
+    [
+      ( "--allowlist",
+        Arg.String (fun f -> allowlist_file := Some f),
+        "FILE suppressions, one 'path rule' per line" );
+      ("--list-rules", Arg.Set list_rules, " print the rule list and exit");
+    ]
+  in
+  Arg.parse spec (fun dir -> roots := dir :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (id, doc) -> Fmt.pr "%-14s %s@." id doc)
+      Lint_rules.rule_docs;
+    exit 0
+  end;
+  if !roots = [] then begin
+    Fmt.epr "%s@." usage;
+    exit 2
+  end;
+  let allows =
+    match !allowlist_file with
+    | None -> []
+    | Some file -> (
+      match Lint_rules.parse_allowlist (read_file file) with
+      | Ok entries -> entries
+      | Error msg ->
+        Fmt.epr "sf_lint: %s@." msg;
+        exit 2)
+  in
+  let paths =
+    try
+      List.fold_left walk [] (List.rev !roots)
+      |> List.map normalize
+      |> List.sort_uniq compare
+    with Sys_error msg ->
+      Fmt.epr "sf_lint: %s@." msg;
+      exit 2
+  in
+  let files = List.map (fun p -> (p, read_file p)) paths in
+  let findings = Lint_rules.check_files files in
+  let kept, stale = Lint_rules.apply_allowlist allows findings in
+  List.iter (fun f -> Fmt.pr "%a@." Lint_rules.pp_finding f) kept;
+  List.iter
+    (fun (e : Lint_rules.allow) ->
+      Fmt.pr "%s: stale allowlist entry for rule %s (nothing to suppress)@."
+        e.Lint_rules.allow_path e.Lint_rules.allow_rule)
+    stale;
+  if kept = [] && stale = [] then begin
+    Fmt.pr "sf_lint: %d files clean (%d suppressions)@." (List.length files)
+      (List.length allows);
+    exit 0
+  end
+  else exit 1
