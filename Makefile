@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; CI runs the same three gates.
 
-.PHONY: all build lint test check bench clean
+.PHONY: all build lint test check storm bench clean
 
 all: lint build test
 
@@ -19,6 +19,18 @@ test:
 check: build
 	dune exec bin/sfg.exe -- check --n 1000 --rounds 50 --loss 0.0
 	dune exec bin/sfg.exe -- check --n 1000 --rounds 50 --loss 0.2
+
+# Fault-matrix smoke: each storm drives a scenario through the sequential
+# simulator under the strict invariant audit, then replays it on a real
+# UDP loopback cluster and re-checks every view (M1 bounds, parity,
+# soundness).  Nonzero exit on any violation.  Distinct seeds and ports so
+# the runs are independent.
+storm: build
+	dune exec bin/sfg.exe -- storm --seed 11 --port 48100
+	dune exec bin/sfg.exe -- storm --seed 23 --rounds 50 --port 48200 \
+	  --scenario "partition@5-20:3;crash@25-32:0-5"
+	dune exec bin/sfg.exe -- storm --seed 37 --rounds 60 --port 48300 \
+	  --scenario "ge:0.25:6"
 
 bench:
 	dune exec bench/main.exe

@@ -32,6 +32,8 @@ let experiments =
     ("B3", Exp_extensions.minwise_vs_views);
     ("B4", Exp_extensions.cyclon_age_rule);
     ("P1", Exp_extensions.partition_healing);
+    ("FA1", Exp_faults.bursty_vs_iid);
+    ("FA2", Exp_faults.fault_recovery);
     ("N1", Exp_robustness.nonuniform_loss);
     ("CH1", Exp_robustness.session_churn);
     ("R1", Exp_robustness.dissemination);

@@ -50,13 +50,41 @@ let delta_arg =
     & opt float 0.01
     & info [ "delta" ] ~docv:"D" ~doc:"Duplication/deletion probability budget.")
 
-let make_runner ~seed ~n ~view_size ~lower_threshold ~loss =
+let make_runner ?scenario ~seed ~n ~view_size ~lower_threshold ~loss () =
   let config = Protocol.make_config ~view_size ~lower_threshold in
   let out_degree = min (n - 1) (max lower_threshold ((view_size + lower_threshold) / 2)) in
   let out_degree = if out_degree mod 2 = 0 then out_degree else out_degree - 1 in
   let rng = Sf_prng.Rng.create (seed + 1) in
   let topology = Topology.regular rng ~n ~out_degree in
-  Runner.create ~seed ~n ~loss_rate:loss ~config ~topology ()
+  Runner.create ?scenario ~seed ~n ~loss_rate:loss ~config ~topology ()
+
+(* --- Fault scenarios (shared by check and storm) --- *)
+
+let scenario_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Sf_faults.Scenario.of_string s) in
+  let print ppf sc = Fmt.string ppf (Sf_faults.Scenario.to_string sc) in
+  Arg.conv ~docv:"SCENARIO" (parse, print)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt (some scenario_conv) None
+    & info [ "scenario" ] ~docv:"SCENARIO"
+        ~doc:
+          "Fault scenario: semicolon-separated items — iid, ge:MEAN:BURST (bursty \
+           loss with stationary mean MEAN and mean burst length BURST), \
+           partition@A-B:K (K-way split), crash@A-B:LO-HI (freeze node ids), \
+           delay@A-B:F (latency multiplier), corrupt@A-B:R (per-message corruption \
+           probability).  Window times A-B are in rounds.")
+
+let print_fault_statistics fs =
+  Fmt.pr
+    "faults:      %d judged — %d chance drops (%d bursty), %d partition, %d crash, \
+     %d corrupted; %d window transitions@."
+    fs.Sf_faults.Injector.judged fs.Sf_faults.Injector.chance_drops
+    fs.Sf_faults.Injector.burst_drops fs.Sf_faults.Injector.partition_drops
+    fs.Sf_faults.Injector.crash_drops fs.Sf_faults.Injector.corruptions
+    fs.Sf_faults.Injector.fault_transitions
 
 let print_system_state r =
   let outs = Properties.outdegree_summary r in
@@ -80,7 +108,7 @@ let print_system_state r =
 (* --- simulate --- *)
 
 let simulate seed n view_size lower_threshold loss rounds timed =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss () in
   if timed then begin
     Runner.start_timed r (Runner.Poisson 1.0);
     Runner.run_until r (float_of_int rounds)
@@ -257,7 +285,7 @@ let connectivity_cmd =
 (* --- churn --- *)
 
 let churn seed n view_size lower_threshold loss rounds =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss () in
   Runner.run_rounds r 200;
   Fmt.pr "-- leave decay (one victim)@.";
   let victim, trace = Sf_core.Churn.leave_decay r ~rounds () in
@@ -340,7 +368,7 @@ let global_mc_cmd =
 (* --- walk --- *)
 
 let walk seed n view_size lower_threshold loss length attempts =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss () in
   Runner.run_rounds r 200;
   let rng = Sf_prng.Rng.create (seed + 99) in
   let stats =
@@ -369,7 +397,7 @@ let walk_cmd =
 (* --- quality --- *)
 
 let quality seed n view_size lower_threshold loss rounds =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss () in
   Runner.run_rounds r rounds;
   let g = Runner.membership_graph r in
   let rng = Sf_prng.Rng.create (seed + 50) in
@@ -477,8 +505,11 @@ let udp_cmd =
 
 (* --- check --- *)
 
-let check seed n view_size lower_threshold loss rounds warn scan_every =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+let check seed n view_size lower_threshold loss rounds warn scan_every scenario =
+  let r = make_runner ?scenario ~seed ~n ~view_size ~lower_threshold ~loss () in
+  (match scenario with
+  | Some sc -> Fmt.pr "scenario:          %s@." (Sf_faults.Scenario.to_string sc)
+  | None -> ());
   let mode = if warn then Sf_check.Invariant.Warn else Sf_check.Invariant.Strict in
   match Sf_check.Invariant.audited_run ~mode ~scan_every r ~rounds with
   | exception Sf_check.Invariant.Violation v ->
@@ -493,6 +524,9 @@ let check seed n view_size lower_threshold loss rounds warn scan_every =
     List.iter
       (fun v -> Fmt.pr "  %a@." Sf_check.Invariant.pp_violation v)
       (List.rev stats.Sf_check.Invariant.violations);
+    (match Runner.fault_statistics r with
+    | Some fs -> print_fault_statistics fs
+    | None -> ());
     print_system_state r;
     if stats.Sf_check.Invariant.violation_count > 0 then exit 1
 
@@ -511,17 +545,147 @@ let check_cmd =
   let doc =
     "Run a fully audited simulation: every S\\&F action is checked against the \
      paper's invariants (M1 degree bounds, edge conservation, the dL duplication \
-     rule, view soundness).  Exits nonzero on any violation."
+     rule, view soundness).  An optional --scenario adds fault injection (bursty \
+     loss, partitions, crashes, delays, corruption) under the same audit.  Exits \
+     nonzero on any violation."
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const check $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
-      $ rounds_arg 100 $ warn $ scan_every)
+      $ rounds_arg 100 $ warn $ scan_every $ scenario_arg)
+
+(* --- storm --- *)
+
+(* Exercises every fault class at once: bursty loss throughout, then a
+   two-way partition, a crash/restart of a node range, a delay spike, and a
+   corruption window — all under the strict invariant audit. *)
+let default_storm_scenario =
+  "ge:0.08:8;partition@10-25:2;crash@30-40:0-7;delay@45-50:3;corrupt@55-60:0.02"
+
+let storm seed n view_size lower_threshold loss rounds scenario udp_nodes base_port
+    no_udp =
+  let scenario =
+    match scenario with
+    | Some sc -> sc
+    | None -> (
+      match Sf_faults.Scenario.of_string default_storm_scenario with
+      | Ok sc -> sc
+      | Error e -> Fmt.failwith "default storm scenario: %s" e)
+  in
+  Fmt.pr "scenario:    %s@." (Sf_faults.Scenario.to_string scenario);
+  Fmt.pr "-- simulator (sequential actions, strict audit)@.";
+  let r = make_runner ~scenario ~seed ~n ~view_size ~lower_threshold ~loss () in
+  (match Sf_check.Invariant.audited_run ~mode:Sf_check.Invariant.Strict r ~rounds with
+  | exception Sf_check.Invariant.Violation v ->
+    Fmt.epr "invariant violation after %d actions: %a@." (Runner.action_count r)
+      Sf_check.Invariant.pp_violation v;
+    exit 1
+  | stats ->
+    Fmt.pr "audited:     %d actions, %d full scans, %d baseline resyncs@."
+      stats.Sf_check.Invariant.actions_checked stats.Sf_check.Invariant.full_scans
+      stats.Sf_check.Invariant.resyncs);
+  (match Runner.fault_statistics r with
+  | Some fs -> print_fault_statistics fs
+  | None -> ());
+  if Properties.is_weakly_connected r then Fmt.pr "connected:   true@."
+  else begin
+    Fmt.pr "overlay split by the fault plan; invoking rendezvous recovery...@.";
+    match Sf_core.Churn.recover_connectivity r with
+    | Some (recovery_rounds, rebootstraps) ->
+      Fmt.pr "reconnected after %d recovery rounds (%d rebootstraps)@."
+        recovery_rounds rebootstraps
+    | None ->
+      Fmt.epr "recovery failed to reconnect the overlay@.";
+      exit 1
+  end;
+  if not no_udp then begin
+    Fmt.pr "-- UDP cluster (loopback, same scenario)@.";
+    let config = Protocol.make_config ~view_size ~lower_threshold in
+    let out_degree =
+      let d = min (udp_nodes - 1) ((view_size + lower_threshold) / 2) in
+      if d mod 2 = 0 then d else d - 1
+    in
+    let topology =
+      Topology.regular (Sf_prng.Rng.create (seed + 1)) ~n:udp_nodes ~out_degree
+    in
+    let period = 0.005 in
+    let c =
+      Sf_net.Cluster.create ~period ~scenario ~base_port ~n:udp_nodes ~config
+        ~loss_rate:loss ~seed ~topology ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Sf_net.Cluster.shutdown c)
+      (fun () ->
+        Sf_net.Cluster.run c ~duration:(float_of_int rounds *. period);
+        let stats = Sf_net.Cluster.statistics c in
+        Fmt.pr
+          "datagrams:   %d sent, %d dropped, %d received, %d corrupted, %d delayed, \
+           %d crash-dropped, %d decode errors@."
+          stats.Sf_net.Cluster.datagrams_sent stats.Sf_net.Cluster.datagrams_dropped
+          stats.Sf_net.Cluster.datagrams_received
+          stats.Sf_net.Cluster.datagrams_corrupted
+          stats.Sf_net.Cluster.datagrams_delayed
+          stats.Sf_net.Cluster.datagrams_crash_dropped
+          stats.Sf_net.Cluster.decode_errors;
+        (match Sf_net.Cluster.fault_statistics c with
+        | Some fs -> print_fault_statistics fs
+        | None -> ());
+        (* The cluster has no per-action audit hook, but the stable
+           invariants — view soundness, M1 bounds, parity (every protocol
+           transition moves ids in pairs) — are checkable on its views. *)
+        let violations = ref 0 in
+        Seq.iter
+          (fun (id, view) ->
+            (match Sf_check.Invariant.check_view view with
+            | Some v ->
+              incr violations;
+              Fmt.epr "node %d: %a@." id Sf_check.Invariant.pp_violation v
+            | None -> ());
+            let d = Sf_core.View.degree view in
+            if d < 0 || d > view_size || d mod 2 <> 0 then begin
+              incr violations;
+              Fmt.epr "node %d: outdegree %d violates M1 bounds or parity@." id d
+            end)
+          (Sf_net.Cluster.views c);
+        if !violations > 0 then begin
+          Fmt.epr "cluster views: %d violations@." !violations;
+          exit 1
+        end;
+        Fmt.pr "cluster:     view soundness, M1 bounds and parity all hold@.")
+  end;
+  Fmt.pr "storm: OK@."
+
+let storm_cmd =
+  let n_small =
+    Arg.(value & opt int 96 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Simulator nodes.")
+  in
+  let udp_nodes =
+    Arg.(
+      value & opt int 48
+      & info [ "udp-nodes" ] ~docv:"N" ~doc:"Cluster size for the UDP leg.")
+  in
+  let base_port =
+    Arg.(value & opt int 48100 & info [ "port" ] ~docv:"PORT" ~doc:"First UDP port.")
+  in
+  let no_udp =
+    Arg.(value & flag & info [ "no-udp" ] ~doc:"Skip the UDP cluster leg.")
+  in
+  let doc =
+    "Fault storm: drive a fault scenario (bursty loss, partitions, crash/restart, \
+     delay spikes, datagram corruption) through both the discrete-event simulator \
+     — under the strict invariant audit — and the real UDP cluster, then verify \
+     connectivity (healing a split overlay via the rendezvous recovery rule) and \
+     view invariants.  Exits nonzero on any violation."
+  in
+  Cmd.v (Cmd.info "storm" ~doc)
+    Term.(
+      const storm $ seed_arg $ n_small $ view_size_arg $ lower_threshold_arg
+      $ loss_arg $ rounds_arg 70 $ scenario_arg $ udp_nodes $ base_port $ no_udp)
 
 (* --- sessions --- *)
 
 let sessions seed n view_size lower_threshold loss rounds mean_lifetime pareto =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss () in
   Runner.run_rounds r 100;
   let lifetime =
     if pareto then
@@ -561,7 +725,7 @@ let sessions_cmd =
 (* --- spread --- *)
 
 let spread seed n view_size lower_threshold loss fanout =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss in
+  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss () in
   Runner.run_rounds r 150;
   let rng = Sf_prng.Rng.create (seed + 6) in
   let trace =
@@ -610,6 +774,7 @@ let () =
         quality_cmd;
         mixing_cmd;
         check_cmd;
+        storm_cmd;
         udp_cmd;
         sessions_cmd;
         spread_cmd;

@@ -164,6 +164,12 @@ let on_action a runner ~initiator ~degree_before ~degree_after ~outcome =
   let config = Runner.config runner in
   let s = config.Protocol.view_size in
   let dl = config.Protocol.lower_threshold in
+  (* A frozen node must not act: the runner's scheduler is required to skip
+     ids inside an active crash window (fault scenarios, lib/faults). *)
+  if Runner.is_crashed runner initiator then
+    report a
+      (violation "crashed-initiator"
+         "node %d initiated inside an active crash window" initiator);
   (* M1 on the initiator. *)
   if degree_after < 0 || degree_after > s then
     report a
@@ -236,6 +242,10 @@ let on_event a runner event =
   | Runner.Receipt { receiver; accepted = _ } ->
     a.stats.receipts_seen <- a.stats.receipts_seen + 1;
     a.synced <- false;
+    if Runner.is_crashed runner receiver then
+      report a
+        (violation "crashed-receiver"
+           "node %d received a message inside an active crash window" receiver);
     (match Runner.find_node runner receiver with
     | None -> ()
     | Some node -> (

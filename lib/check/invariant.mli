@@ -14,7 +14,13 @@
       outdegree was at or below dL at initiation;
     - {b view soundness}: cached degrees match occupied slots, serials are
       globally unique and below the mint bound, birth times never exceed
-      the action clock.
+      the action clock;
+    - {b crash discipline} (fault scenarios, {!Sf_faults}): a node inside
+      an active crash window neither initiates nor receives.
+
+    Fault windows surface as [Structural] audit events, which resync the
+    conservation baseline — the invariants above keep holding under every
+    fault the scenario language can express.
 
     Per-action checks cost O(live nodes); full scans cost O(live × s) and
     run every [scan_every] actions. *)

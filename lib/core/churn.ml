@@ -103,3 +103,50 @@ let run_with_churn ?(recover = false) runner ~rounds ~joins ~leaves =
     Runner.run_rounds runner 1
   done;
   !reconnections
+
+(* After a long partition the overlay can split permanently: cross-partition
+   view entries decay to nothing while the cut holds, and the section 5
+   reconnection rule cannot bridge it afterwards — the seen-ids cache is
+   small and recency-ordered, so by then it only holds same-side ids.  The
+   paper's remedy is the other half of the joining rule: an out-of-band
+   rendezvous ("copy another node's view").  Each round this driver
+   rebootstraps one live member of every weak component except the largest
+   — the donor is a random live node, so with a dominant nucleus most
+   donations bridge the cut — then runs one protocol round to spread the
+   new edges. *)
+let recover_connectivity ?(max_rounds = 50) runner =
+  let components () =
+    Sf_graph.Digraph.weakly_connected_components (Runner.membership_graph runner)
+  in
+  let rebootstraps = ref 0 in
+  let rec go rounds =
+    match components () with
+    | [] | [ _ ] -> Some (rounds, !rebootstraps)
+    | comps ->
+      if rounds >= max_rounds then None
+      else begin
+        let sorted =
+          List.sort (fun a b -> compare (List.length b) (List.length a)) comps
+        in
+        (match sorted with
+        | [] -> ()
+        | _largest :: minorities ->
+          List.iter
+            (fun comp ->
+              (* A component may consist solely of departed ids still held
+                 in views; only live nodes can rebootstrap. *)
+              match
+                List.find_opt
+                  (fun id -> Option.is_some (Runner.find_node runner id))
+                  comp
+              with
+              | None -> ()
+              | Some id ->
+                incr rebootstraps;
+                ignore (Runner.rebootstrap runner ~node_id:id))
+            minorities);
+        Runner.run_rounds runner 1;
+        go (rounds + 1)
+      end
+  in
+  go 0

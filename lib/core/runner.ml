@@ -54,6 +54,11 @@ type t = {
   protocol_rng : Sf_prng.Rng.t;   (* slot selections inside nodes *)
   sim : Sf_engine.Sim.t;
   network : Protocol.message Sf_engine.Network.t;
+  (* Fault scenario engine (lib/faults); [None] means fault-free.  The
+     injector's round clock is actions / initial population in sequential
+     mode and virtual time in timed mode. *)
+  injector : Sf_faults.Injector.t option;
+  initial_population : int;
   nodes : (int, Protocol.node) Hashtbl.t;
   mutable live : Protocol.node array;
   mutable live_dirty : bool;
@@ -76,6 +81,25 @@ type t = {
 let set_audit t audit = t.audit <- audit
 
 let emit t event = match t.audit with Some f -> f t event | None -> ()
+
+(* Surface fault-window boundary crossings as structural audit events, so
+   the invariant auditor resyncs its edge-conservation baseline exactly when
+   the fault regime changes. *)
+let poll_faults t =
+  match t.injector with
+  | None -> ()
+  | Some injector ->
+    Sf_faults.Injector.refresh injector;
+    List.iter
+      (fun reason -> emit t (Structural reason))
+      (Sf_faults.Injector.transitions injector)
+
+let is_crashed t id =
+  match t.injector with
+  | None -> false
+  | Some injector -> Sf_faults.Injector.is_crashed injector id
+
+let fault_statistics t = Option.map Sf_faults.Injector.statistics t.injector
 
 let fresh_serial t () =
   let s = t.next_serial in
@@ -105,14 +129,18 @@ let install_node t node =
   t.live_dirty <- true
 
 let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?audit
-    ~seed ~n ~loss_rate ~config ~topology () =
+    ?scenario ~seed ~n ~loss_rate ~config ~topology () =
   let root = Sf_prng.Rng.create seed in
   let scheduler_rng = Sf_prng.Rng.split root in
   let protocol_rng = Sf_prng.Rng.split root in
   let network_rng = Sf_prng.Rng.split root in
   let sim = Sf_engine.Sim.create () in
+  let injector =
+    Option.map (fun sc -> Sf_faults.Injector.create ~scenario:sc ~n ()) scenario
+  in
   let network =
-    Sf_engine.Network.create ~latency ?destination_loss ~sim ~rng:network_rng ~loss_rate ()
+    Sf_engine.Network.create ~latency ?destination_loss ?injector ~sim ~rng:network_rng
+      ~loss_rate ()
   in
   let t =
     {
@@ -121,6 +149,8 @@ let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?aud
       protocol_rng;
       sim;
       network;
+      injector;
+      initial_population = n;
       nodes = Hashtbl.create (2 * n);
       live = [||];
       live_dirty = true;
@@ -150,6 +180,14 @@ let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?aud
       (topology u);
     install_node t node
   done;
+  Option.iter
+    (fun inj ->
+      Sf_faults.Injector.set_clock inj (fun () ->
+          match t.timed with
+          | Some _ -> Sf_engine.Sim.now t.sim
+          | None ->
+            float_of_int t.actions /. float_of_int (max 1 t.initial_population)))
+    t.injector;
   t
 
 let config t = t.config
@@ -176,14 +214,17 @@ let random_live_node t =
   if Array.length live = 0 then invalid_arg "Runner.random_live_node: no live nodes";
   Sf_prng.Rng.choose t.scheduler_rng live
 
-(* One initiate step at [node]; the transport depends on the mode. *)
+(* One initiate step at [node]; the transport depends on the mode.  The
+   action counter increments only after the audit event fires, so the
+   sequential round clock (actions / n) is constant across the whole action
+   — initiate, loss draw, synchronous receive and audit all see the same
+   round. *)
 let initiate_at t ~synchronous node =
   let degree_before = Protocol.degree node in
   let result =
     Protocol.initiate t.config t.protocol_rng ~fresh_serial:(fresh_serial t)
       ~clock:t.actions node
   in
-  t.actions <- t.actions + 1;
   let outcome =
     match result with
     | Protocol.Self_loop ->
@@ -200,7 +241,8 @@ let initiate_at t ~synchronous node =
           t.suppress_receipt <- true;
           t.last_receive <- None;
           let delivered =
-            Sf_engine.Network.send_immediate t.network ~dst:destination message
+            Sf_engine.Network.send_immediate t.network
+              ~src:node.Protocol.node_id ~dst:destination message
           in
           t.suppress_receipt <- false;
           let lost_after =
@@ -214,7 +256,8 @@ let initiate_at t ~synchronous node =
           else To_dead
         end
         else begin
-          Sf_engine.Network.send t.network ~dst:destination message;
+          Sf_engine.Network.send t.network ~src:node.Protocol.node_id
+            ~dst:destination message;
           In_flight
         end
       in
@@ -228,11 +271,45 @@ let initiate_at t ~synchronous node =
          degree_after = Protocol.degree node;
          outcome;
        });
+  t.actions <- t.actions + 1;
   result
 
 (* --- Sequential-action mode --- *)
 
-let step t = ignore (initiate_at t ~synchronous:true (random_live_node t))
+(* Crashed nodes do not initiate.  The fault-free path — and any scenario
+   without crash windows — keeps the historical single [Rng.choose] per
+   step, so the scheduler RNG stream is untouched; only while a crash
+   window is actually active does the pick rejection-sample. *)
+let step t =
+  poll_faults t;
+  let crash_gate =
+    match t.injector with
+    | None -> None
+    | Some injector ->
+      if
+        Sf_faults.Injector.has_crash_windows injector
+        && Sf_faults.Injector.crash_active injector
+      then Some injector
+      else None
+  in
+  match crash_gate with
+  | None -> ignore (initiate_at t ~synchronous:true (random_live_node t))
+  | Some injector ->
+    let live = live_nodes t in
+    let up node =
+      not (Sf_faults.Injector.is_crashed injector node.Protocol.node_id)
+    in
+    if Array.exists up live then begin
+      let rec pick () =
+        let node = Sf_prng.Rng.choose t.scheduler_rng live in
+        if up node then node else pick ()
+      in
+      ignore (initiate_at t ~synchronous:true (pick ()))
+    end
+    else
+      (* Every live node is frozen: the round clock still has to advance or
+         the crash window would never end. *)
+      t.actions <- t.actions + 1
 
 let run_actions t k =
   for _ = 1 to k do
@@ -259,7 +336,11 @@ let schedule_node t scheduling node =
   let rec tick () =
     (* The node may have left since this event was scheduled. *)
     if Hashtbl.mem t.nodes node.Protocol.node_id then begin
-      ignore (initiate_at t ~synchronous:false node);
+      poll_faults t;
+      (* A crashed node skips its initiation but keeps its clock running, so
+         it resumes — with its stale view — when the window closes. *)
+      if not (is_crashed t node.Protocol.node_id) then
+        ignore (initiate_at t ~synchronous:false node);
       Sf_engine.Sim.schedule t.sim ~delay:(delay ()) tick
     end
   in

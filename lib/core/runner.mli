@@ -49,6 +49,7 @@ val create :
   ?latency:(Sf_prng.Rng.t -> float) ->
   ?destination_loss:(int -> float) ->
   ?audit:(t -> audit_event -> unit) ->
+  ?scenario:Sf_faults.Scenario.t ->
   seed:int ->
   n:int ->
   loss_rate:float ->
@@ -57,7 +58,16 @@ val create :
   unit ->
   t
 (** Build a system of [n] nodes with the given initial topology. All
-    randomness derives from [seed]. *)
+    randomness derives from [seed].
+
+    [scenario] routes every send through a fault plan (bursty loss,
+    partitions, crashes, delay spikes, corruption — see
+    {!Sf_faults.Scenario}).  Omitting it — or passing
+    {!Sf_faults.Scenario.default} — reproduces the fault-free RNG stream
+    byte-for-byte.  The scenario's round clock is [actions / n] in
+    sequential mode and virtual time in timed mode; window boundary
+    crossings surface as [Structural] audit events so the invariant auditor
+    resyncs its conservation baseline. *)
 
 val config : t -> Protocol.config
 
@@ -74,9 +84,19 @@ val find_node : t -> int -> Protocol.node option
 val random_live_node : t -> Protocol.node
 val simulator : t -> Sf_engine.Sim.t
 
+val is_crashed : t -> int -> bool
+(** [true] while the fault scenario holds the id inside an active crash
+    window (always [false] without a scenario).  Crashed nodes neither
+    initiate nor receive; they resume with their stale views. *)
+
+val fault_statistics : t -> Sf_faults.Injector.stats option
+(** Fault-injection counters, when a scenario is installed. *)
+
 val step : t -> unit
 (** Sequential mode: one global action (random initiator, synchronous
-    delivery unless lost). *)
+    delivery unless lost).  Crashed nodes are skipped when picking the
+    initiator; if every live node is crashed the round clock advances with
+    no action. *)
 
 val run_actions : t -> int -> unit
 

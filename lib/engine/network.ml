@@ -2,7 +2,14 @@
    model, section 4.1) and configurable delivery latency.  Messages to nodes
    without a registered handler are counted as lost-to-crash, which is how
    the churn driver models failed nodes: the id of a dead node stays in
-   views until the protocol erodes it, exactly as in section 6.5.2. *)
+   views until the protocol erodes it, exactly as in section 6.5.2.
+
+   An optional fault injector (lib/faults) generalizes the loss draw to
+   stateful processes (Gilbert-Elliott bursts, per-link loss) and timed
+   fault windows (partitions, crashes, delay spikes, corruption).  Without
+   an injector — or with the all-default scenario — the send path performs
+   exactly the historical single Bernoulli draw, so fault-free runs replay
+   byte-identically. *)
 
 type 'msg t = {
   sim : Sim.t;
@@ -12,6 +19,7 @@ type 'msg t = {
      non-uniform loss regime the paper's section 4.1 mentions but does not
      analyze (e.g. nodes behind lossy last-mile links). *)
   destination_loss : (int -> float) option;
+  injector : Sf_faults.Injector.t option;
   latency : Sf_prng.Rng.t -> float;
   handlers : (int, 'msg -> unit) Hashtbl.t;
   mutable sent : int;
@@ -31,7 +39,8 @@ let default_latency rng = 0.5 +. Sf_prng.Rng.float rng
 (* Uniform in [0.5, 1.5): asynchronous but loosely synchronized, matching the
    paper's assumption that nodes invoke actions at similar rates. *)
 
-let create ?(latency = default_latency) ?destination_loss ~sim ~rng ~loss_rate () =
+let create ?(latency = default_latency) ?destination_loss ?injector ~sim ~rng
+    ~loss_rate () =
   if loss_rate < 0. || loss_rate > 1. then
     invalid_arg "Network.create: loss_rate must lie in [0,1]";
   {
@@ -39,6 +48,7 @@ let create ?(latency = default_latency) ?destination_loss ~sim ~rng ~loss_rate (
     rng;
     loss_rate;
     destination_loss;
+    injector;
     latency;
     handlers = Hashtbl.create 64;
     sent = 0;
@@ -58,30 +68,63 @@ let loss_rate t = t.loss_rate
 let drop_probability t ~dst =
   match t.destination_loss with None -> t.loss_rate | Some f -> f dst
 
+(* The loss decision for one message: the historical single Bernoulli draw
+   without an injector, the injector's full fault pipeline with one.  The
+   simulator's messages never leave memory, so a corrupted payload is
+   indistinguishable from a drop at the receiver (the cluster, which sends
+   real bytes, instead flips them and lets the codec reject). *)
+let judge t ~src ~dst =
+  match t.injector with
+  | None ->
+    if Sf_prng.Rng.bernoulli t.rng (drop_probability t ~dst) then `Drop else `Deliver
+  | Some injector -> (
+    match
+      Sf_faults.Injector.judge injector t.rng ~chance:(drop_probability t ~dst) ~src
+        ~dst
+    with
+    | Sf_faults.Injector.Deliver -> `Deliver
+    | Sf_faults.Injector.Corrupt_payload | Sf_faults.Injector.Drop _ -> `Drop)
+
 (* Fire-and-forget send: the sender cannot detect loss, so the loss draw
-   happens here and lost messages are simply never scheduled. *)
-let send t ~dst msg =
+   happens here and lost messages are simply never scheduled.  [src] feeds
+   the fault injector's partition/crash checks; [-1] (unknown sender) is
+   exempt from them. *)
+let send t ?(src = -1) ~dst msg =
   t.sent <- t.sent + 1;
-  if Sf_prng.Rng.bernoulli t.rng (drop_probability t ~dst) then t.lost <- t.lost + 1
-  else
-    let delay = t.latency t.rng in
+  match judge t ~src ~dst with
+  | `Drop -> t.lost <- t.lost + 1
+  | `Deliver ->
+    let delay =
+      match t.injector with
+      | None -> t.latency t.rng
+      | Some injector -> t.latency t.rng *. Sf_faults.Injector.delay_factor injector
+    in
     Sim.schedule t.sim ~delay (fun () ->
-        match Hashtbl.find_opt t.handlers dst with
-        | None -> t.dropped_no_handler <- t.dropped_no_handler + 1
-        | Some handler ->
-          t.delivered <- t.delivered + 1;
-          handler msg)
+        (* A destination that crashed while the message was in flight
+           drops it on arrival. *)
+        let crashed =
+          match t.injector with
+          | None -> false
+          | Some injector -> Sf_faults.Injector.is_crashed injector dst
+        in
+        if crashed then t.lost <- t.lost + 1
+        else
+          match Hashtbl.find_opt t.handlers dst with
+          | None -> t.dropped_no_handler <- t.dropped_no_handler + 1
+          | Some handler ->
+            t.delivered <- t.delivered + 1;
+            handler msg)
 
 (* Synchronous delivery used by the sequential-action scheduler of the
    analysis model: the receive step runs immediately (actions are serial).
    Returns whether the message was delivered to a live handler. *)
-let send_immediate t ~dst msg =
+let send_immediate t ?(src = -1) ~dst msg =
   t.sent <- t.sent + 1;
-  if Sf_prng.Rng.bernoulli t.rng (drop_probability t ~dst) then begin
+  match judge t ~src ~dst with
+  | `Drop ->
     t.lost <- t.lost + 1;
     false
-  end
-  else
+  | `Deliver -> (
     match Hashtbl.find_opt t.handlers dst with
     | None ->
       t.dropped_no_handler <- t.dropped_no_handler + 1;
@@ -89,7 +132,7 @@ let send_immediate t ~dst msg =
     | Some handler ->
       t.delivered <- t.delivered + 1;
       handler msg;
-      true
+      true)
 
 let statistics t =
   {

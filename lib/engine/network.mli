@@ -17,6 +17,7 @@ val default_latency : Sf_prng.Rng.t -> float
 val create :
   ?latency:(Sf_prng.Rng.t -> float) ->
   ?destination_loss:(int -> float) ->
+  ?injector:Sf_faults.Injector.t ->
   sim:Sim.t ->
   rng:Sf_prng.Rng.t ->
   loss_rate:float ->
@@ -25,7 +26,13 @@ val create :
 (** [destination_loss] overrides the uniform [loss_rate] with a
     per-destination drop probability — the non-uniform loss regime the
     paper's section 4.1 mentions but leaves unanalyzed. [loss_rate] remains
-    the nominal mean reported by {!loss_rate}. *)
+    the nominal mean reported by {!loss_rate}.
+
+    [injector] routes every send through a fault scenario (bursty loss,
+    partitions, crashes, delay spikes, corruption — see {!Sf_faults}).
+    Without one — or with {!Sf_faults.Scenario.default} — the send path
+    performs the historical single Bernoulli draw per message, so
+    fault-free runs replay byte-identically. *)
 
 val register : 'msg t -> int -> ('msg -> unit) -> unit
 (** Attach the receive handler of a (live) node. *)
@@ -37,11 +44,13 @@ val is_registered : 'msg t -> int -> bool
 
 val loss_rate : 'msg t -> float
 
-val send : 'msg t -> dst:int -> 'msg -> unit
-(** Fire-and-forget asynchronous send; lost with probability [loss_rate],
-    otherwise delivered after a latency draw. *)
+val send : 'msg t -> ?src:int -> dst:int -> 'msg -> unit
+(** Fire-and-forget asynchronous send; lost with probability [loss_rate]
+    (or per the fault injector), otherwise delivered after a latency draw.
+    [src] identifies the sender to the injector's partition and crash
+    checks; the default [-1] is exempt from them. *)
 
-val send_immediate : 'msg t -> dst:int -> 'msg -> bool
+val send_immediate : 'msg t -> ?src:int -> dst:int -> 'msg -> bool
 (** Sequential-action send: runs the receive step synchronously. Returns
     [true] iff delivered to a live handler. *)
 

@@ -1,0 +1,183 @@
+(* Runtime fault engine.  Holds the mutable state of a running scenario:
+   the loss-process position, which windows are active, the boundary
+   transitions not yet drained by the driver, and cause-resolved drop
+   counters.  All randomness comes from the RNG passed to [judge], so the
+   default scenario replays the exact pre-fault RNG stream. *)
+
+type cause = Chance | Partitioned | Crashed
+
+type verdict = Deliver | Corrupt_payload | Drop of cause
+
+type stats = {
+  judged : int;
+  chance_drops : int;
+  burst_drops : int;
+  partition_drops : int;
+  crash_drops : int;
+  corruptions : int;
+  fault_transitions : int;
+}
+
+type wstate = { window : Scenario.window; mutable active : bool }
+
+type t = {
+  scenario : Scenario.t;
+  n : int;
+  loss : Loss.t;
+  windows : wstate array;
+  mutable clock : unit -> float;
+  mutable pending : string list;  (* boundary transitions, newest first *)
+  mutable judged : int;
+  mutable chance_drops : int;
+  mutable burst_drops : int;
+  mutable partition_drops : int;
+  mutable crash_drops : int;
+  mutable corruptions : int;
+  mutable fault_transitions : int;
+}
+
+let create ~scenario ~n () =
+  if n <= 0 then invalid_arg "Injector.create: need a positive population";
+  List.iter Scenario.validate_window scenario.Scenario.windows;
+  {
+    scenario;
+    n;
+    loss = Loss.create scenario.Scenario.loss;
+    windows =
+      Array.of_list
+        (List.map (fun w -> { window = w; active = false }) scenario.Scenario.windows);
+    clock = (fun () -> 0.);
+    pending = [];
+    judged = 0;
+    chance_drops = 0;
+    burst_drops = 0;
+    partition_drops = 0;
+    crash_drops = 0;
+    corruptions = 0;
+    fault_transitions = 0;
+  }
+
+let set_clock t clock = t.clock <- clock
+
+let scenario t = t.scenario
+
+let refresh t =
+  if Array.length t.windows > 0 then begin
+    let now = t.clock () in
+    Array.iter
+      (fun ws ->
+        let active = ws.window.Scenario.start <= now && now < ws.window.Scenario.stop in
+        if active <> ws.active then begin
+          ws.active <- active;
+          t.fault_transitions <- t.fault_transitions + 1;
+          t.pending <-
+            Fmt.str "%s:%s"
+              (if active then "fault-start" else "fault-end")
+              (Scenario.fault_kind ws.window.Scenario.fault)
+            :: t.pending
+        end)
+      t.windows
+  end
+
+let transitions t =
+  let drained = List.rev t.pending in
+  t.pending <- [];
+  drained
+
+(* Partition block of an id: contiguous blocks of the initial id space;
+   joiner ids beyond it wrap by [id mod n]. *)
+let block t ~parts id =
+  let id = ((id mod t.n) + t.n) mod t.n in
+  min (parts - 1) (id * parts / t.n)
+
+let is_crashed t id =
+  refresh t;
+  Array.exists
+    (fun ws ->
+      ws.active
+      &&
+      match ws.window.Scenario.fault with
+      | Scenario.Crash { first; last } -> first <= id && id <= last
+      | Scenario.Partition _ | Scenario.Delay _ | Scenario.Corrupt _ -> false)
+    t.windows
+
+let crash_active t =
+  refresh t;
+  Array.exists
+    (fun ws ->
+      ws.active
+      && match ws.window.Scenario.fault with Scenario.Crash _ -> true | _ -> false)
+    t.windows
+
+let has_crash_windows t =
+  Array.exists
+    (fun ws ->
+      match ws.window.Scenario.fault with Scenario.Crash _ -> true | _ -> false)
+    t.windows
+
+let partitioned t ~src ~dst =
+  Array.exists
+    (fun ws ->
+      ws.active
+      &&
+      match ws.window.Scenario.fault with
+      | Scenario.Partition { parts } ->
+        src >= 0 && block t ~parts src <> block t ~parts dst
+      | Scenario.Crash _ | Scenario.Delay _ | Scenario.Corrupt _ -> false)
+    t.windows
+
+let corruption_rate t =
+  Array.fold_left
+    (fun acc ws ->
+      if ws.active then
+        match ws.window.Scenario.fault with
+        | Scenario.Corrupt { rate } -> Float.max acc rate
+        | _ -> acc
+      else acc)
+    0. t.windows
+
+let delay_factor t =
+  refresh t;
+  Array.fold_left
+    (fun acc ws ->
+      if ws.active then
+        match ws.window.Scenario.fault with
+        | Scenario.Delay { factor } -> acc *. factor
+        | _ -> acc
+      else acc)
+    1. t.windows
+
+let judge t rng ~chance ~src ~dst =
+  refresh t;
+  t.judged <- t.judged + 1;
+  if is_crashed t src || is_crashed t dst then begin
+    t.crash_drops <- t.crash_drops + 1;
+    Drop Crashed
+  end
+  else if partitioned t ~src ~dst then begin
+    t.partition_drops <- t.partition_drops + 1;
+    Drop Partitioned
+  end
+  else if Loss.drop t.loss rng ~chance ~src ~dst then begin
+    t.chance_drops <- t.chance_drops + 1;
+    if Loss.in_burst t.loss then t.burst_drops <- t.burst_drops + 1;
+    Drop Chance
+  end
+  else
+    let rate = corruption_rate t in
+    if rate > 0. && Sf_prng.Rng.bernoulli rng rate then begin
+      t.corruptions <- t.corruptions + 1;
+      Corrupt_payload
+    end
+    else Deliver
+
+let statistics t =
+  {
+    judged = t.judged;
+    chance_drops = t.chance_drops;
+    burst_drops = t.burst_drops;
+    partition_drops = t.partition_drops;
+    crash_drops = t.crash_drops;
+    corruptions = t.corruptions;
+    fault_transitions = t.fault_transitions;
+  }

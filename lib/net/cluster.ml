@@ -11,6 +11,13 @@
    injection keeps loss experiments controlled even though loopback UDP
    rarely drops on its own.
 
+   An optional fault scenario (lib/faults) generalizes the send-side loss
+   draw exactly as in the simulator: stateful loss processes, partitions,
+   crashes, delay spikes and datagram corruption, all driven by the same
+   [Sf_faults.Scenario] value a simulation uses.  The cluster's round clock
+   is elapsed time over the firing period.  Without a scenario the send
+   path performs the historical single Bernoulli draw per datagram.
+
    Fire-and-forget UDP matches S&F's assumptions exactly: no connection
    state, no retransmission, the sender never learns whether the message
    arrived. *)
@@ -19,6 +26,15 @@ type node_state = {
   node : Sf_core.Protocol.node;
   socket : Unix.file_descr;
   mutable next_fire : float;
+}
+
+(* A datagram held back by an active delay window: release time, sending
+   socket, wire bytes, destination. *)
+type delayed_datagram = {
+  release_at : float;
+  via : Unix.file_descr;
+  packet : bytes;
+  target : Unix.sockaddr;
 }
 
 type t = {
@@ -31,13 +47,20 @@ type t = {
      default. *)
   now : unit -> float;
   rng : Sf_prng.Rng.t;
+  injector : Sf_faults.Injector.t option;
   nodes : node_state array;
   read_buffer : bytes;
+  mutable delayed : delayed_datagram list;
   mutable next_serial : int;
   mutable actions : int;
   mutable datagrams_sent : int;
-  mutable datagrams_dropped : int;  (* injected loss *)
+  mutable datagrams_dropped : int;  (* injected loss (any fault cause) *)
   mutable datagrams_received : int;
+  mutable datagrams_corrupted : int;
+  mutable datagrams_delayed : int;
+  mutable datagrams_crash_dropped : int;
+  mutable datagrams_oversized : int;
+  mutable datagrams_truncated : int;
   mutable decode_errors : int;
   mutable send_errors : int;
 }
@@ -50,12 +73,15 @@ let fresh_serial t =
   t.next_serial <- s + 1;
   s
 
-let create ?(period = 0.01) ?(now = Unix.gettimeofday) ~base_port ~n ~config
-    ~loss_rate ~seed ~topology () =
+let create ?(period = 0.01) ?(now = Unix.gettimeofday) ?scenario ~base_port ~n
+    ~config ~loss_rate ~seed ~topology () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one node";
   if base_port < 1024 || base_port + n > 65_535 then
     invalid_arg "Cluster.create: port range out of bounds";
   let rng = Sf_prng.Rng.create seed in
+  let injector =
+    Option.map (fun sc -> Sf_faults.Injector.create ~scenario:sc ~n ()) scenario
+  in
   let t =
     {
       config;
@@ -64,26 +90,39 @@ let create ?(period = 0.01) ?(now = Unix.gettimeofday) ~base_port ~n ~config
       loss_rate;
       now;
       rng;
+      injector;
       nodes = [||];
-      read_buffer = Bytes.create 512;
+      read_buffer = Bytes.create Codec.recv_buffer_size;
+      delayed = [];
       next_serial = 0;
       actions = 0;
       datagrams_sent = 0;
       datagrams_dropped = 0;
       datagrams_received = 0;
+      datagrams_corrupted = 0;
+      datagrams_delayed = 0;
+      datagrams_crash_dropped = 0;
+      datagrams_oversized = 0;
+      datagrams_truncated = 0;
       decode_errors = 0;
       send_errors = 0;
     }
   in
   let start = t.now () in
+  (* One round of the scenario clock = one firing period elapsed. *)
+  Option.iter
+    (fun inj ->
+      Sf_faults.Injector.set_clock inj (fun () -> (now () -. start) /. period))
+    injector;
+  (* Track every socket opened so far: if node k's bind (or anything after
+     it) fails, the k sockets already open must not leak. *)
+  let opened = ref [] in
   let make_node node_id =
     let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    opened := socket :: !opened;
     Unix.set_nonblock socket;
     Unix.setsockopt socket Unix.SO_REUSEADDR true;
-    (try Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + node_id))
-     with e ->
-       Unix.close socket;
-       raise e);
+    Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + node_id));
     let node = Sf_core.Protocol.create_node ~config ~node_id in
     List.iter
       (fun v ->
@@ -100,8 +139,13 @@ let create ?(period = 0.01) ?(now = Unix.gettimeofday) ~base_port ~n ~config
       next_fire = start +. (period *. Sf_prng.Rng.float rng);
     }
   in
-  let nodes = Array.init n make_node in
-  { t with nodes }
+  match Array.init n make_node with
+  | nodes -> { t with nodes }
+  | exception e ->
+    List.iter
+      (fun socket -> try Unix.close socket with Unix.Unix_error _ -> ())
+      !opened;
+    raise e
 
 let node_count t = Array.length t.nodes
 
@@ -110,8 +154,17 @@ let shutdown t =
     (fun ns -> try Unix.close ns.socket with Unix.Unix_error _ -> ())
     t.nodes
 
+let is_crashed t node_id =
+  match t.injector with
+  | None -> false
+  | Some injector -> Sf_faults.Injector.is_crashed injector node_id
+
+let transmit t ~via ~packet ~target =
+  try ignore (Unix.sendto via packet 0 (Bytes.length packet) [] target)
+  with Unix.Unix_error _ -> t.send_errors <- t.send_errors + 1
+
 (* One initiate step at [ns]; the message goes out as a datagram unless the
-   injected loss eats it. *)
+   loss draw — or an active fault window — eats it. *)
 let fire t ns =
   t.actions <- t.actions + 1;
   match
@@ -119,20 +172,70 @@ let fire t ns =
       ~clock:t.actions ns.node
   with
   | Sf_core.Protocol.Self_loop -> ()
-  | Sf_core.Protocol.Send { destination; message; _ } ->
+  | Sf_core.Protocol.Send { destination; message; _ } -> (
     t.datagrams_sent <- t.datagrams_sent + 1;
-    if Sf_prng.Rng.bernoulli t.rng t.loss_rate then
-      t.datagrams_dropped <- t.datagrams_dropped + 1
-    else if destination >= 0 && destination < Array.length t.nodes then begin
-      let packet = Codec.encode message in
-      try
-        ignore
-          (Unix.sendto ns.socket packet 0 (Bytes.length packet) []
-             (address_of t destination))
-      with Unix.Unix_error _ -> t.send_errors <- t.send_errors + 1
-    end
+    let verdict =
+      match t.injector with
+      | None ->
+        if Sf_prng.Rng.bernoulli t.rng t.loss_rate then `Drop else `Deliver
+      | Some injector -> (
+        match
+          Sf_faults.Injector.judge injector t.rng ~chance:t.loss_rate
+            ~src:ns.node.Sf_core.Protocol.node_id ~dst:destination
+        with
+        | Sf_faults.Injector.Deliver -> `Deliver
+        | Sf_faults.Injector.Corrupt_payload -> `Corrupt
+        | Sf_faults.Injector.Drop _ -> `Drop)
+    in
+    match verdict with
+    | `Drop -> t.datagrams_dropped <- t.datagrams_dropped + 1
+    | (`Deliver | `Corrupt) as fate ->
+      if destination >= 0 && destination < Array.length t.nodes then begin
+        let packet = Codec.encode message in
+        (match fate with
+        | `Corrupt ->
+          (* Flip the magic byte: real corrupted bytes on the wire, which
+             the receiving codec rejects — the datagram is spent but the
+             error path is exercised. *)
+          t.datagrams_corrupted <- t.datagrams_corrupted + 1;
+          Bytes.set packet 0
+            (Char.chr (Char.code (Bytes.get packet 0) lxor 0xff))
+        | `Deliver -> ());
+        let delay_factor =
+          match t.injector with
+          | None -> 1.0
+          | Some injector -> Sf_faults.Injector.delay_factor injector
+        in
+        if delay_factor > 1.0 then begin
+          (* Loopback latency is negligible, so a delay window holds the
+             datagram for [factor] firing periods instead. *)
+          t.datagrams_delayed <- t.datagrams_delayed + 1;
+          t.delayed <-
+            {
+              release_at = t.now () +. (delay_factor *. t.period);
+              via = ns.socket;
+              packet;
+              target = address_of t destination;
+            }
+            :: t.delayed
+        end
+        else transmit t ~via:ns.socket ~packet ~target:(address_of t destination)
+      end)
 
-(* Drain every pending datagram on a readable socket. *)
+let flush_delayed t ~now =
+  match t.delayed with
+  | [] -> ()
+  | delayed ->
+    let due, pending = List.partition (fun d -> d.release_at <= now) delayed in
+    t.delayed <- pending;
+    (* The list is newest-first; release oldest-first. *)
+    List.iter
+      (fun d -> transmit t ~via:d.via ~packet:d.packet ~target:d.target)
+      (List.rev due)
+
+(* Drain every pending datagram on a readable socket.  A crashed receiver
+   discards instead of processing: messages arriving during the window are
+   lost, not queued for the resume. *)
 let drain t ns =
   let continue = ref true in
   while !continue do
@@ -141,11 +244,22 @@ let drain t ns =
       continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | length, _from ->
-      t.datagrams_received <- t.datagrams_received + 1;
-      (match Codec.decode t.read_buffer ~length with
-      | Ok message ->
-        ignore (Sf_core.Protocol.receive t.config t.rng ns.node message)
-      | Error _ -> t.decode_errors <- t.decode_errors + 1)
+      if is_crashed t ns.node.Sf_core.Protocol.node_id then
+        t.datagrams_crash_dropped <- t.datagrams_crash_dropped + 1
+      else begin
+        t.datagrams_received <- t.datagrams_received + 1;
+        if length > Codec.message_size then
+          (* Only possible for foreign traffic: our codec never produces
+             it, and the buffer headroom makes it observable. *)
+          t.datagrams_oversized <- t.datagrams_oversized + 1
+        else
+          match Codec.decode t.read_buffer ~length with
+          | Ok message ->
+            ignore (Sf_core.Protocol.receive t.config t.rng ns.node message)
+          | Error (Codec.Too_short _) ->
+            t.datagrams_truncated <- t.datagrams_truncated + 1
+          | Error _ -> t.decode_errors <- t.decode_errors + 1
+      end
   done
 
 (* Run the cluster for [duration] wall-clock seconds. *)
@@ -158,11 +272,17 @@ let run t ~duration =
     let now = t.now () in
     if now >= deadline then ()
     else begin
-      (* Fire all due timers, rescheduling with jitter. *)
+      (match t.injector with
+      | None -> ()
+      | Some injector -> Sf_faults.Injector.refresh injector);
+      flush_delayed t ~now;
+      (* Fire all due timers, rescheduling with jitter.  A crashed node
+         skips its initiation but keeps its timer running, so it resumes —
+         with its stale view — when the window closes. *)
       Array.iter
         (fun ns ->
           if ns.next_fire <= now then begin
-            fire t ns;
+            if not (is_crashed t ns.node.Sf_core.Protocol.node_id) then fire t ns;
             ns.next_fire <-
               now +. (t.period *. (0.9 +. (0.2 *. Sf_prng.Rng.float t.rng)))
           end)
@@ -170,7 +290,11 @@ let run t ~duration =
       let next_timer =
         Array.fold_left (fun acc ns -> Float.min acc ns.next_fire) infinity t.nodes
       in
-      let timeout = Float.max 0. (Float.min (next_timer -. now) (deadline -. now)) in
+      let next_release =
+        List.fold_left (fun acc d -> Float.min acc d.release_at) infinity t.delayed
+      in
+      let next_event = Float.min next_timer next_release in
+      let timeout = Float.max 0. (Float.min (next_event -. now) (deadline -. now)) in
       match Unix.select sockets [] [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | readable, _, _ ->
@@ -214,11 +338,18 @@ let membership_graph t =
 
 let is_weakly_connected t = Sf_graph.Digraph.is_weakly_connected (membership_graph t)
 
+let fault_statistics t = Option.map Sf_faults.Injector.statistics t.injector
+
 type statistics = {
   actions : int;
   datagrams_sent : int;
   datagrams_dropped : int;
   datagrams_received : int;
+  datagrams_corrupted : int;
+  datagrams_delayed : int;
+  datagrams_crash_dropped : int;
+  datagrams_oversized : int;
+  datagrams_truncated : int;
   decode_errors : int;
   send_errors : int;
 }
@@ -229,6 +360,11 @@ let statistics (t : t) =
     datagrams_sent = t.datagrams_sent;
     datagrams_dropped = t.datagrams_dropped;
     datagrams_received = t.datagrams_received;
+    datagrams_corrupted = t.datagrams_corrupted;
+    datagrams_delayed = t.datagrams_delayed;
+    datagrams_crash_dropped = t.datagrams_crash_dropped;
+    datagrams_oversized = t.datagrams_oversized;
+    datagrams_truncated = t.datagrams_truncated;
     decode_errors = t.decode_errors;
     send_errors = t.send_errors;
   }

@@ -10,6 +10,7 @@ type t
 val create :
   ?period:float ->
   ?now:(unit -> float) ->
+  ?scenario:Sf_faults.Scenario.t ->
   base_port:int ->
   n:int ->
   config:Sf_core.Protocol.config ->
@@ -23,7 +24,20 @@ val create :
     node's initiations in seconds (default 10 ms). [loss_rate] is injected
     at the sender (loopback UDP rarely drops on its own). [now] is the
     clock driving timers and deadlines — the wall clock by default; inject
-    a virtual clock to make runs time-deterministic in tests. *)
+    a virtual clock to make runs time-deterministic in tests.
+
+    [scenario] routes every datagram through the same fault plan the
+    simulator uses ({!Sf_faults.Scenario}): bursty loss, partitions,
+    crashes (frozen timers, arriving datagrams discarded), delay windows
+    (datagrams held for [factor] firing periods — loopback latency is
+    negligible) and corruption (real byte flips on the wire, rejected by
+    the receiving {!Codec}).  One round of the scenario clock = one firing
+    [period] elapsed.  Omitting the scenario — or passing
+    {!Sf_faults.Scenario.default} — keeps the historical single Bernoulli
+    draw per datagram.
+
+    If any socket operation fails mid-construction, every socket already
+    opened is closed before the exception propagates. *)
 
 val node_count : t -> int
 
@@ -33,17 +47,32 @@ val run : t -> duration:float -> unit
 val shutdown : t -> unit
 (** Close every socket. *)
 
+val views : t -> (int * Sf_core.View.t) Seq.t
+(** Per-node views, for external invariant checks. *)
+
+val is_crashed : t -> int -> bool
+(** [true] while the fault scenario holds the id inside an active crash
+    window (always [false] without a scenario). *)
+
 val outdegree_summary : t -> Sf_stats.Summary.t
 val independence_census : t -> Sf_core.Census.t
 val membership_graph : t -> Sf_graph.Digraph.t
 val is_weakly_connected : t -> bool
 
+val fault_statistics : t -> Sf_faults.Injector.stats option
+(** Fault-injection counters, when a scenario is installed. *)
+
 type statistics = {
   actions : int;
   datagrams_sent : int;
-  datagrams_dropped : int;   (** injected loss *)
+  datagrams_dropped : int;       (** send-side injected loss, any fault cause *)
   datagrams_received : int;
-  decode_errors : int;
+  datagrams_corrupted : int;     (** sent with flipped bytes (corrupt windows) *)
+  datagrams_delayed : int;       (** held back by a delay window *)
+  datagrams_crash_dropped : int; (** discarded on arrival at a crashed node *)
+  datagrams_oversized : int;     (** longer than {!Codec.message_size} *)
+  datagrams_truncated : int;     (** shorter than {!Codec.message_size} *)
+  decode_errors : int;           (** right-sized but undecodable (magic/version) *)
   send_errors : int;
 }
 

@@ -20,6 +20,12 @@ let magic = '\xf5'
 let version = '\x01'
 let message_size = 66
 
+(* One byte of headroom: POSIX recvfrom silently truncates a UDP payload to
+   the buffer, so a buffer of exactly [message_size] cannot distinguish a
+   valid datagram from the prefix of an oversized one.  With the extra byte,
+   [length > message_size] identifies foreign/oversized traffic. *)
+let recv_buffer_size = message_size + 1
+
 type error =
   | Too_short of int
   | Bad_magic of char

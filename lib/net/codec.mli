@@ -3,6 +3,11 @@
 val message_size : int
 (** Encoded size in bytes (66). *)
 
+val recv_buffer_size : int
+(** [message_size + 1]: the receive-buffer size that lets a receiver detect
+    oversized datagrams — recvfrom truncates a UDP payload to the buffer,
+    so the one-byte headroom makes [length > message_size] observable. *)
+
 type error =
   | Too_short of int
   | Bad_magic of char

@@ -1,0 +1,296 @@
+(* Tests for the fault-injection layer (lib/faults): the Gilbert-Elliott
+   stationary mapping and its empirical convergence, the scenario language,
+   the injector's verdict pipeline, bit-for-bit identity of the default
+   scenario, and end-to-end partition / crash runs under the strict
+   invariant audit. *)
+
+module Runner = Sf_core.Runner
+module Protocol = Sf_core.Protocol
+module Topology = Sf_core.Topology
+module Properties = Sf_core.Properties
+module Churn = Sf_core.Churn
+module Loss = Sf_faults.Loss
+module Scenario = Sf_faults.Scenario
+module Injector = Sf_faults.Injector
+module Invariant = Sf_check.Invariant
+
+let scenario_of_string s =
+  match Scenario.of_string s with
+  | Ok sc -> sc
+  | Error e -> Alcotest.fail ("scenario parse: " ^ e)
+
+(* --- Gilbert-Elliott mapping --- *)
+
+(* The documented inversion: given a target stationary mean and mean burst
+   length, [gilbert_elliott] must return a chain whose stationary loss and
+   burst length are exactly those targets. *)
+let test_ge_mapping () =
+  let ge = Loss.gilbert_elliott ~mean_loss:0.2 ~mean_burst:8.0 () in
+  Alcotest.(check (float 1e-12)) "stationary loss" 0.2 (Loss.stationary_loss ge);
+  Alcotest.(check (float 1e-12)) "mean burst length" 8.0 (Loss.mean_burst_length ge);
+  let ge =
+    Loss.gilbert_elliott ~loss_good:0.01 ~loss_bad:0.9 ~mean_loss:0.3
+      ~mean_burst:5.0 ()
+  in
+  Alcotest.(check (float 1e-12)) "lossy good state still hits the mean" 0.3
+    (Loss.stationary_loss ge);
+  let rejects f = match f () with
+    | (_ : Loss.ge) -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  rejects (fun () -> Loss.gilbert_elliott ~mean_loss:1.5 ~mean_burst:8.0 ());
+  rejects (fun () -> Loss.gilbert_elliott ~mean_loss:0.2 ~mean_burst:0.5 ());
+  rejects (fun () ->
+      (* mean above the bad-state loss rate is unreachable *)
+      Loss.gilbert_elliott ~loss_bad:0.4 ~mean_loss:0.5 ~mean_burst:4.0 ())
+
+(* Empirical convergence of the two-state chain to its stationary mean:
+   1e6 seeded draws must land within 1% (0.002 absolute at mean 0.2). *)
+let test_ge_convergence () =
+  let ge = Loss.gilbert_elliott ~mean_loss:0.2 ~mean_burst:8.0 () in
+  let process = Loss.create (Loss.Gilbert_elliott ge) in
+  let rng = Sf_prng.Rng.create 7 in
+  let draws = 1_000_000 in
+  let drops = ref 0 in
+  for _ = 1 to draws do
+    (* [chance] is the legacy i.i.d. rate; a GE process ignores it. *)
+    if Loss.drop process rng ~chance:0.9 ~src:0 ~dst:1 then incr drops
+  done;
+  let observed = float_of_int !drops /. float_of_int draws in
+  Alcotest.(check bool)
+    (Fmt.str "observed %.4f within 0.002 of 0.2" observed)
+    true
+    (Float.abs (observed -. 0.2) < 0.002)
+
+(* Per-link processes use the supplied rate function, not [chance]. *)
+let test_per_link () =
+  let process =
+    Loss.create (Loss.Per_link (fun src dst -> if src = dst - 1 then 1.0 else 0.0))
+  in
+  let rng = Sf_prng.Rng.create 5 in
+  Alcotest.(check bool) "doomed link drops" true
+    (Loss.drop process rng ~chance:0.0 ~src:3 ~dst:4);
+  Alcotest.(check bool) "clean link delivers" false
+    (Loss.drop process rng ~chance:0.0 ~src:3 ~dst:9)
+
+(* --- Scenario language --- *)
+
+let test_scenario_roundtrip () =
+  let text =
+    "ge:0.2:8;partition@10-20:2;crash@25-35:0-9;delay@40-45:4;corrupt@50-55:0.01"
+  in
+  let sc = scenario_of_string text in
+  Alcotest.(check int) "window count" 4 (List.length sc.Scenario.windows);
+  (match sc.Scenario.loss with
+  | Loss.Gilbert_elliott ge ->
+    Alcotest.(check (float 1e-9)) "mean parsed" 0.2 (Loss.stationary_loss ge);
+    Alcotest.(check (float 1e-9)) "burst parsed" 8.0 (Loss.mean_burst_length ge)
+  | Loss.Iid | Loss.Per_link _ -> Alcotest.fail "expected a GE loss model");
+  Alcotest.(check string) "prints back to itself" text (Scenario.to_string sc);
+  let again = scenario_of_string (Scenario.to_string sc) in
+  Alcotest.(check string) "stable under reparse" text (Scenario.to_string again);
+  Alcotest.(check string) "default renders as iid" "iid"
+    (Scenario.to_string Scenario.default);
+  Alcotest.(check bool) "default reparses to no windows" true
+    ((scenario_of_string "iid").Scenario.windows = [])
+
+let test_scenario_rejects_malformed () =
+  List.iter
+    (fun bad ->
+      match Scenario.of_string bad with
+      | Ok _ -> Alcotest.fail (Fmt.str "accepted malformed scenario %S" bad)
+      | Error _ -> ())
+    [
+      "ge:0.2" (* missing burst *);
+      "ge:1.5:8" (* unreachable mean *);
+      "partition@20-10:2" (* empty window *);
+      "partition@0-10:1" (* one part is no partition *);
+      "crash@0-10:5-2" (* inverted node range *);
+      "delay@0-10:0" (* non-positive factor *);
+      "corrupt@0-10:1.5" (* rate above 1 *);
+      "iid;ge:0.1:4" (* two loss models *);
+      "bogus" (* unknown item *);
+    ]
+
+(* --- Injector verdicts --- *)
+
+let test_injector_verdicts () =
+  let scenario = scenario_of_string "partition@0-10:2;corrupt@20-30:1" in
+  let inj = Injector.create ~scenario ~n:10 () in
+  let clock = ref 5.0 in
+  Injector.set_clock inj (fun () -> !clock);
+  let rng = Sf_prng.Rng.create 3 in
+  let judge ~src ~dst = Injector.judge inj rng ~chance:0.0 ~src ~dst in
+  (* Blocks at parts=2, n=10: ids 0-4 vs 5-9. *)
+  (match judge ~src:0 ~dst:9 with
+  | Injector.Drop Injector.Partitioned -> ()
+  | _ -> Alcotest.fail "cross-block send must be partitioned");
+  (match judge ~src:0 ~dst:4 with
+  | Injector.Deliver -> ()
+  | _ -> Alcotest.fail "same-block send must deliver");
+  (match judge ~src:(-1) ~dst:9 with
+  | Injector.Deliver -> ()
+  | _ -> Alcotest.fail "out-of-band sends (src -1) bypass the partition");
+  clock := 25.0;
+  (match judge ~src:0 ~dst:9 with
+  | Injector.Corrupt_payload -> ()
+  | _ -> Alcotest.fail "corruption window at rate 1 must corrupt");
+  clock := 50.0;
+  (match judge ~src:0 ~dst:9 with
+  | Injector.Deliver -> ()
+  | _ -> Alcotest.fail "no active window: deliver");
+  let stats = Injector.statistics inj in
+  Alcotest.(check int) "judged" 5 stats.Injector.judged;
+  Alcotest.(check int) "partition drops" 1 stats.Injector.partition_drops;
+  Alcotest.(check int) "corruptions" 1 stats.Injector.corruptions;
+  Alcotest.(check bool) "window transitions recorded" true
+    (stats.Injector.fault_transitions > 0)
+
+let test_injector_crash () =
+  let scenario = scenario_of_string "crash@0-10:3-5" in
+  let inj = Injector.create ~scenario ~n:10 () in
+  Injector.set_clock inj (fun () -> 5.0);
+  let rng = Sf_prng.Rng.create 4 in
+  Alcotest.(check bool) "inside range crashed" true (Injector.is_crashed inj 4);
+  Alcotest.(check bool) "outside range alive" false (Injector.is_crashed inj 6);
+  (match Injector.judge inj rng ~chance:0.0 ~src:0 ~dst:4 with
+  | Injector.Drop Injector.Crashed -> ()
+  | _ -> Alcotest.fail "send to a crashed node must drop");
+  (match Injector.judge inj rng ~chance:0.0 ~src:0 ~dst:6 with
+  | Injector.Deliver -> ()
+  | _ -> Alcotest.fail "send between live nodes must deliver");
+  Injector.set_clock inj (fun () -> 20.0);
+  Alcotest.(check bool) "window over: resumed" false (Injector.is_crashed inj 4)
+
+(* --- Bit-for-bit identity of the default scenario --- *)
+
+(* The fault layer must be invisible when unused: a runner built with
+   [Scenario.default] consumes exactly the RNG stream of a runner built
+   with no scenario at all, so views, serials, and counters match. *)
+let dump_views r =
+  Array.to_list (Runner.live_nodes r)
+  |> List.map (fun node ->
+         (node.Protocol.node_id, Sf_core.View.entries node.Protocol.view))
+
+let test_default_scenario_identity () =
+  let make scenario =
+    let n = 120 in
+    let config = Protocol.make_config ~view_size:12 ~lower_threshold:4 in
+    let topology = Topology.regular (Sf_prng.Rng.create 91) ~n ~out_degree:8 in
+    let r = Runner.create ?scenario ~seed:90 ~n ~loss_rate:0.05 ~config ~topology () in
+    Runner.run_rounds r 60;
+    r
+  in
+  let plain = make None in
+  let defaulted = make (Some Scenario.default) in
+  Alcotest.(check bool) "identical views (ids, serials, anchors, births)" true
+    (dump_views plain = dump_views defaulted);
+  Alcotest.(check int) "identical mint bound" (Runner.minted_serials plain)
+    (Runner.minted_serials defaulted);
+  let np = Runner.network_statistics plain in
+  let nd = Runner.network_statistics defaulted in
+  Alcotest.(check int) "identical sends" np.Sf_engine.Network.messages_sent
+    nd.Sf_engine.Network.messages_sent;
+  Alcotest.(check int) "identical losses" np.Sf_engine.Network.messages_lost
+    nd.Sf_engine.Network.messages_lost;
+  let wp = Runner.world_counters plain in
+  let wd = Runner.world_counters defaulted in
+  Alcotest.(check bool) "identical world counters" true (wp = wd)
+
+(* --- End-to-end fault runs --- *)
+
+(* A partition splits the membership graph once it outlives view decay
+   (small views, long window), and the out-of-band rendezvous rule re-knits
+   it within a bounded number of rounds. *)
+let test_partition_split_and_recovery () =
+  let config = Protocol.make_config ~view_size:8 ~lower_threshold:2 in
+  let n = 200 in
+  let scenario = scenario_of_string "partition@5-105:2" in
+  let topology = Topology.regular (Sf_prng.Rng.create 531) ~n ~out_degree:6 in
+  let r =
+    Runner.create ~scenario ~seed:530 ~n ~loss_rate:0.05 ~config ~topology ()
+  in
+  Runner.run_rounds r 110;
+  Alcotest.(check bool) "100-round partition split the overlay" false
+    (Properties.is_weakly_connected r);
+  (match Churn.recover_connectivity ~max_rounds:50 r with
+  | Some (rounds, rebootstraps) ->
+    Alcotest.(check bool) "recovery used at least one rebootstrap" true
+      (rebootstraps >= 1);
+    Alcotest.(check bool) "recovery bounded" true (rounds <= 50)
+  | None -> Alcotest.fail "recover_connectivity failed to re-knit the overlay");
+  Alcotest.(check bool) "weakly connected after recovery" true
+    (Properties.is_weakly_connected r)
+
+(* A short partition with large views heals on its own: surviving
+   cross-partition entries reconnect the graph within a few rounds. *)
+let test_partition_heals_quickly () =
+  let config = Protocol.make_config ~view_size:40 ~lower_threshold:18 in
+  let n = 200 in
+  let scenario = scenario_of_string "partition@20-50:2" in
+  let topology = Topology.regular (Sf_prng.Rng.create 521) ~n ~out_degree:30 in
+  let r =
+    Runner.create ~scenario ~seed:520 ~n ~loss_rate:0.01 ~config ~topology ()
+  in
+  Runner.run_rounds r 50;
+  (* The window just closed; give the overlay at most 5 rounds. *)
+  let rec reconnect k =
+    if Properties.is_weakly_connected r then k
+    else if k >= 5 then -1
+    else begin
+      Runner.run_rounds r 1;
+      reconnect (k + 1)
+    end
+  in
+  let k = reconnect 0 in
+  Alcotest.(check bool) "reconnected within 5 rounds of healing" true (k >= 0)
+
+(* Crash/restart under the strict audit: no invariant fires while a tenth
+   of the system is frozen, boundary crossings resync the conservation
+   baseline, and resumed nodes come back with their stale views. *)
+let test_crash_restart_strict_audit () =
+  let config = Protocol.make_config ~view_size:16 ~lower_threshold:6 in
+  let n = 100 in
+  let scenario = scenario_of_string "crash@10-20:0-9" in
+  let topology = Topology.regular (Sf_prng.Rng.create 71) ~n ~out_degree:10 in
+  let r =
+    Runner.create ~scenario ~seed:70 ~n ~loss_rate:0.02 ~config ~topology ()
+  in
+  let stats = Invariant.audited_run ~mode:Invariant.Strict r ~rounds:40 in
+  Alcotest.(check int) "no violations" 0 stats.Invariant.violation_count;
+  Alcotest.(check bool) "window boundaries resynced the baseline" true
+    (stats.Invariant.resyncs >= 2);
+  (match Runner.fault_statistics r with
+  | None -> Alcotest.fail "scenario installed but no fault statistics"
+  | Some fs ->
+    Alcotest.(check bool) "arrivals at crashed nodes were dropped" true
+      (fs.Injector.crash_drops > 0));
+  Alcotest.(check bool) "nobody is crashed after the window" true
+    (not (Runner.is_crashed r 0));
+  match Runner.find_node r 0 with
+  | None -> Alcotest.fail "node 0 missing"
+  | Some victim ->
+    Alcotest.(check bool) "resumed node kept a usable view" true
+      (Protocol.degree victim > 0)
+
+let suite =
+  [
+    Alcotest.test_case "GE mapping is exact" `Quick test_ge_mapping;
+    Alcotest.test_case "GE converges to the stationary mean (1e6 draws)" `Quick
+      test_ge_convergence;
+    Alcotest.test_case "per-link loss uses the link rate" `Quick test_per_link;
+    Alcotest.test_case "scenario round-trips" `Quick test_scenario_roundtrip;
+    Alcotest.test_case "scenario rejects malformed input" `Quick
+      test_scenario_rejects_malformed;
+    Alcotest.test_case "injector verdicts (partition, corrupt)" `Quick
+      test_injector_verdicts;
+    Alcotest.test_case "injector verdicts (crash)" `Quick test_injector_crash;
+    Alcotest.test_case "default scenario is bit-for-bit invisible" `Quick
+      test_default_scenario_identity;
+    Alcotest.test_case "long partition splits; rendezvous recovers" `Slow
+      test_partition_split_and_recovery;
+    Alcotest.test_case "short partition heals within 5 rounds" `Slow
+      test_partition_heals_quickly;
+    Alcotest.test_case "crash/restart passes the strict audit" `Quick
+      test_crash_restart_strict_audit;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("lint", Test_lint.suite);
       ("check", Test_check.suite);
+      ("faults", Test_faults.suite);
     ]
