@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; CI runs the same three gates.
 
-.PHONY: all build lint test check storm bench clean
+.PHONY: all build lint test check storm obs bench clean
 
 all: lint build test
 
@@ -31,6 +31,16 @@ storm: build
 	  --scenario "partition@5-20:3;crash@25-32:0-5"
 	dune exec bin/sfg.exe -- storm --seed 37 --rounds 60 --port 48300 \
 	  --scenario "ge:0.25:6"
+
+# Observability smoke: a metrics snapshot and a trace dump from the
+# instrumented simulator, plus the determinism property the tracer
+# guarantees — equal seeds dump byte-identical JSONL.
+obs: build
+	dune exec bin/sfg.exe -- top --once --n 200 --rounds 50
+	dune exec bin/sfg.exe -- trace --n 100 --rounds 5 -o /tmp/sfg-trace-a.jsonl
+	dune exec bin/sfg.exe -- trace --n 100 --rounds 5 -o /tmp/sfg-trace-b.jsonl
+	cmp /tmp/sfg-trace-a.jsonl /tmp/sfg-trace-b.jsonl
+	rm -f /tmp/sfg-trace-a.jsonl /tmp/sfg-trace-b.jsonl
 
 bench:
 	dune exec bench/main.exe

@@ -2,6 +2,10 @@
    evaluation (see DESIGN.md for the experiment index), then times the
    machinery with Bechamel micro-benchmarks.
 
+   Every run also writes BENCH_obs.json: per-section wall times plus — when
+   the OBS section ran — the observability payload (Lemma 6.6 balance,
+   degree-marginal TVD, instrumentation overhead, metrics snapshot).
+
    Run everything:          dune exec bench/main.exe
    Run selected sections:   dune exec bench/main.exe -- F6.1 F6.3
    List sections:           dune exec bench/main.exe -- --list *)
@@ -38,8 +42,41 @@ let experiments =
     ("CH1", Exp_robustness.session_churn);
     ("R1", Exp_robustness.dissemination);
     ("U1", Exp_robustness.udp_crosscheck);
+    ("OBS", Exp_obs.run);
     ("SPEED", Speed.run);
   ]
+
+let artifact_path = "BENCH_obs.json"
+
+(* Run one experiment, returning its wall time (the tree's single wall
+   clock lives in Sf_obs.Clock). *)
+let timed f =
+  let elapsed = Sf_obs.Clock.stopwatch ~clock:Sf_obs.Clock.wall in
+  f ();
+  elapsed ()
+
+let write_artifact timings =
+  let obs = match !Exp_obs.artifact with Some j -> j | None -> Sf_obs.Json.Null in
+  let json =
+    Sf_obs.Json.Obj
+      [
+        ( "sections",
+          Sf_obs.Json.List
+            (List.map
+               (fun (id, seconds) ->
+                 Sf_obs.Json.Obj
+                   [
+                     ("id", Sf_obs.Json.String id);
+                     ("seconds", Sf_obs.Json.Float seconds);
+                   ])
+               timings) );
+        ("obs", obs);
+      ]
+  in
+  Out_channel.with_open_text artifact_path (fun oc ->
+      output_string oc (Sf_obs.Json.to_string json);
+      output_string oc "\n");
+  Fmt.pr "@.Wrote %s (%d sections).@." artifact_path (List.length timings)
 
 let () =
   let args =
@@ -50,16 +87,24 @@ let () =
     List.iter (fun (id, _) -> Fmt.pr "%s@." id) experiments
   | [] ->
     Fmt.pr "Send & Forget reproduction harness (PODC'09 / SICOMP'10).@.";
-    List.iter
-      (fun (id, f) ->
-        let t0 = Unix.gettimeofday () in
-        f ();
-        Fmt.pr "  (%s finished in %.1fs)@." id (Unix.gettimeofday () -. t0))
-      experiments
+    let timings =
+      List.map
+        (fun (id, f) ->
+          let seconds = timed f in
+          Fmt.pr "  (%s finished in %.1fs)@." id seconds;
+          (id, seconds))
+        experiments
+    in
+    write_artifact timings
   | selected ->
-    List.iter
-      (fun id ->
-        match List.assoc_opt id experiments with
-        | Some f -> f ()
-        | None -> Fmt.epr "unknown experiment %S (try --list)@." id)
-      selected
+    let timings =
+      List.filter_map
+        (fun id ->
+          match List.assoc_opt id experiments with
+          | Some f -> Some (id, timed f)
+          | None ->
+            Fmt.epr "unknown experiment %S (try --list)@." id;
+            None)
+        selected
+    in
+    write_artifact timings

@@ -50,13 +50,13 @@ let delta_arg =
     & opt float 0.01
     & info [ "delta" ] ~docv:"D" ~doc:"Duplication/deletion probability budget.")
 
-let make_runner ?scenario ~seed ~n ~view_size ~lower_threshold ~loss () =
+let make_runner ?scenario ?obs ~seed ~n ~view_size ~lower_threshold ~loss () =
   let config = Protocol.make_config ~view_size ~lower_threshold in
   let out_degree = min (n - 1) (max lower_threshold ((view_size + lower_threshold) / 2)) in
   let out_degree = if out_degree mod 2 = 0 then out_degree else out_degree - 1 in
   let rng = Sf_prng.Rng.create (seed + 1) in
   let topology = Topology.regular rng ~n ~out_degree in
-  Runner.create ?scenario ~seed ~n ~loss_rate:loss ~config ~topology ()
+  Runner.create ?scenario ?obs ~seed ~n ~loss_rate:loss ~config ~topology ()
 
 (* --- Fault scenarios (shared by check and storm) --- *)
 
@@ -752,6 +752,108 @@ let spread_cmd =
       const spread $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
       $ fanout)
 
+(* --- top --- *)
+
+let format_conv =
+  Arg.enum [ ("prom", `Prom); ("csv", `Csv); ("json", `Json) ]
+
+let print_metrics format metrics =
+  match format with
+  | `Prom -> print_string (Sf_obs.Metrics.to_prometheus metrics)
+  | `Csv -> print_string (Sf_obs.Metrics.to_csv metrics)
+  | `Json ->
+    print_string (Sf_obs.Json.to_string (Sf_obs.Metrics.to_json metrics));
+    print_newline ()
+
+let top seed n view_size lower_threshold loss rounds every format once scenario =
+  let metrics = Sf_obs.Metrics.create () in
+  let obs = Sf_obs.Obs.create ~metrics () in
+  let r = make_runner ?scenario ~obs ~seed ~n ~view_size ~lower_threshold ~loss () in
+  if once then begin
+    Runner.run_rounds r rounds;
+    print_metrics format metrics
+  end
+  else begin
+    (* Refresh is keyed to simulation rounds, not wall time, so the output
+       for a given seed is reproducible. *)
+    let completed = ref 0 in
+    while !completed < rounds do
+      let chunk = min every (rounds - !completed) in
+      Runner.run_rounds r chunk;
+      completed := !completed + chunk;
+      Fmt.pr "-- after %d/%d rounds@." !completed rounds;
+      print_metrics format metrics
+    done
+  end
+
+let top_cmd =
+  let every =
+    Arg.(
+      value & opt int 100
+      & info [ "every" ] ~docv:"K" ~doc:"Rounds between snapshots.")
+  in
+  let format =
+    Arg.(
+      value & opt format_conv `Prom
+      & info [ "format" ] ~docv:"FMT" ~doc:"Snapshot format: prom, csv or json.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print a single snapshot after the full run and exit.")
+  in
+  let doc =
+    "Run an instrumented S\\&F system and print registry snapshots (counters, \
+     gauges, span histograms) in Prometheus text, CSV or JSON format.  Snapshots \
+     are taken every K simulated rounds, so equal seeds print equal bytes."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const top $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ rounds_arg 400 $ every $ format $ once $ scenario_arg)
+
+(* --- trace --- *)
+
+let trace seed n view_size lower_threshold loss rounds capacity out scenario =
+  let tracer = Sf_obs.Trace.create ~capacity in
+  let obs = Sf_obs.Obs.create ~tracer () in
+  let r = make_runner ?scenario ~obs ~seed ~n ~view_size ~lower_threshold ~loss () in
+  Runner.run_rounds r rounds;
+  let dump = Sf_obs.Trace.to_jsonl tracer in
+  (* The JSONL goes to the file or stdout unadorned — equal seeds must dump
+     byte-identical traces; accounting goes to stderr. *)
+  (match out with
+  | Some path -> Out_channel.with_open_text path (fun oc -> output_string oc dump)
+  | None -> print_string dump);
+  Fmt.epr "trace: %d recorded, %d held, %d dropped to wraparound%a@."
+    (Sf_obs.Trace.recorded tracer)
+    (Sf_obs.Trace.length tracer)
+    (Sf_obs.Trace.dropped tracer)
+    Fmt.(option (fun ppf p -> Fmt.pf ppf ", wrote %s" p))
+    out
+
+let trace_cmd =
+  let capacity =
+    Arg.(
+      value & opt int 65536
+      & info [ "capacity" ] ~docv:"C" ~doc:"Ring-buffer capacity in records.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the JSONL dump here instead of stdout.")
+  in
+  let doc =
+    "Run a traced S\\&F system and dump the event ring (send, deliver, drop, \
+     duplicate, delete, timer, fault transitions) as JSONL.  Records are stamped \
+     with the injected simulation clock: equal seeds dump byte-identical traces."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
+      $ rounds_arg 50 $ capacity $ out $ scenario_arg)
+
 (* --- main --- *)
 
 let () =
@@ -778,6 +880,8 @@ let () =
         udp_cmd;
         sessions_cmd;
         spread_cmd;
+        top_cmd;
+        trace_cmd;
       ]
   in
   exit (Cmd.eval group)

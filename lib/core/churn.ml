@@ -75,6 +75,11 @@ let join_integration runner ~rounds =
    have all departed) invoke the section 5 reconnection rule each round;
    the return value counts the reconnection attempts made. *)
 let run_with_churn ?(recover = false) runner ~rounds ~joins ~leaves =
+  let attempts =
+    Sf_obs.Metrics.counter
+      (Sf_obs.Obs.metrics (Runner.obs runner))
+      "churn_recovery_attempts"
+  in
   let reconnections = ref 0 in
   for _ = 1 to rounds do
     for _ = 1 to leaves do
@@ -93,6 +98,7 @@ let run_with_churn ?(recover = false) runner ~rounds ~joins ~leaves =
       List.iter
         (fun node ->
           incr reconnections;
+          Sf_obs.Metrics.incr attempts;
           match Runner.reconnect runner ~node_id:node.Protocol.node_id with
           | Runner.Reconnected _ -> ()
           | Runner.Exhausted _ ->

@@ -66,12 +66,18 @@ type t = {
   mutable actions : int;           (* initiate steps executed *)
   mutable next_node_id : int;
   mutable timed : scheduling option;
-  (* World-level counters (survive node removal). *)
-  mutable total_self_loops : int;
-  mutable total_sends : int;
-  mutable total_duplications : int;
-  mutable total_receipts : int;
-  mutable total_deletions : int;
+  (* Observability: registry counters replace the former ad-hoc world
+     counters (they survive node removal just the same — one O(1)
+     increment per update); the gauge tracks the live population. *)
+  obs : Sf_obs.Obs.t;
+  total_self_loops : Sf_obs.Metrics.counter;
+  total_sends : Sf_obs.Metrics.counter;
+  total_duplications : Sf_obs.Metrics.counter;
+  total_receipts : Sf_obs.Metrics.counter;
+  total_deletions : Sf_obs.Metrics.counter;
+  total_reconnections : Sf_obs.Metrics.counter;
+  total_rebootstraps : Sf_obs.Metrics.counter;
+  live_gauge : Sf_obs.Metrics.gauge;
   (* Audit plumbing. *)
   mutable audit : (t -> audit_event -> unit) option;
   mutable last_receive : Protocol.receive_result option;
@@ -82,6 +88,19 @@ let set_audit t audit = t.audit <- audit
 
 let emit t event = match t.audit with Some f -> f t event | None -> ()
 
+let obs t = t.obs
+
+(* The injected trace clock: the sequential round clock (actions per
+   initial node) before [start_timed], virtual time after — matching the
+   fault injector's clock, and never an ambient wall clock. *)
+let obs_now t =
+  match t.timed with
+  | Some _ -> Sf_engine.Sim.now t.sim
+  | None -> float_of_int t.actions /. float_of_int (max 1 t.initial_population)
+
+let trace t event =
+  if Sf_obs.Obs.tracing t.obs then Sf_obs.Obs.trace t.obs ~now:(obs_now t) event
+
 (* Surface fault-window boundary crossings as structural audit events, so
    the invariant auditor resyncs its edge-conservation baseline exactly when
    the fault regime changes. *)
@@ -91,7 +110,9 @@ let poll_faults t =
   | Some injector ->
     Sf_faults.Injector.refresh injector;
     List.iter
-      (fun reason -> emit t (Structural reason))
+      (fun reason ->
+        trace t (Sf_obs.Trace.Fault { transition = reason });
+        emit t (Structural reason))
       (Sf_faults.Injector.transitions injector)
 
 let is_crashed t id =
@@ -107,12 +128,14 @@ let fresh_serial t () =
   s
 
 let handler t node message =
-  t.total_receipts <- t.total_receipts + 1;
+  Sf_obs.Metrics.incr t.total_receipts;
   let result = Protocol.receive t.config t.protocol_rng node message in
   t.last_receive <- Some result;
   (match result with
   | Protocol.Accepted -> ()
-  | Protocol.Deleted -> t.total_deletions <- t.total_deletions + 1);
+  | Protocol.Deleted ->
+    Sf_obs.Metrics.incr t.total_deletions;
+    trace t (Sf_obs.Trace.Delete { node = node.Protocol.node_id }));
   (* Synchronous deliveries are reported inside the enclosing action
      event; only asynchronous (timed-mode) deliveries stand alone. *)
   if not t.suppress_receipt then
@@ -126,21 +149,26 @@ let handler t node message =
 let install_node t node =
   Hashtbl.replace t.nodes node.Protocol.node_id node;
   Sf_engine.Network.register t.network node.Protocol.node_id (handler t node);
-  t.live_dirty <- true
+  t.live_dirty <- true;
+  Sf_obs.Metrics.set t.live_gauge (float_of_int (Hashtbl.length t.nodes))
 
 let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?audit
-    ?scenario ~seed ~n ~loss_rate ~config ~topology () =
+    ?scenario ?obs ~seed ~n ~loss_rate ~config ~topology () =
   let root = Sf_prng.Rng.create seed in
   let scheduler_rng = Sf_prng.Rng.split root in
   let protocol_rng = Sf_prng.Rng.split root in
   let network_rng = Sf_prng.Rng.split root in
   let sim = Sf_engine.Sim.create () in
+  let obs = match obs with Some o -> o | None -> Sf_obs.Obs.create () in
+  let metrics = Sf_obs.Obs.metrics obs in
   let injector =
-    Option.map (fun sc -> Sf_faults.Injector.create ~scenario:sc ~n ()) scenario
+    Option.map
+      (fun sc -> Sf_faults.Injector.create ~metrics ~scenario:sc ~n ())
+      scenario
   in
   let network =
-    Sf_engine.Network.create ~latency ?destination_loss ?injector ~sim ~rng:network_rng
-      ~loss_rate ()
+    Sf_engine.Network.create ~latency ?destination_loss ?injector ~obs ~sim
+      ~rng:network_rng ~loss_rate ()
   in
   let t =
     {
@@ -158,11 +186,15 @@ let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?aud
       actions = 0;
       next_node_id = n;
       timed = None;
-      total_self_loops = 0;
-      total_sends = 0;
-      total_duplications = 0;
-      total_receipts = 0;
-      total_deletions = 0;
+      obs;
+      total_self_loops = Sf_obs.Metrics.counter metrics "runner_self_loops";
+      total_sends = Sf_obs.Metrics.counter metrics "runner_sends";
+      total_duplications = Sf_obs.Metrics.counter metrics "runner_duplications";
+      total_receipts = Sf_obs.Metrics.counter metrics "runner_receipts";
+      total_deletions = Sf_obs.Metrics.counter metrics "runner_deletions";
+      total_reconnections = Sf_obs.Metrics.counter metrics "runner_reconnections";
+      total_rebootstraps = Sf_obs.Metrics.counter metrics "runner_rebootstraps";
+      live_gauge = Sf_obs.Metrics.gauge metrics "runner_live_nodes";
       audit;
       last_receive = None;
       suppress_receipt = false;
@@ -188,6 +220,10 @@ let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?aud
           | None ->
             float_of_int t.actions /. float_of_int (max 1 t.initial_population)))
     t.injector;
+  (* Network trace records (send/deliver/drop) must carry the same clock
+     as the runner's own records, not the virtual clock — which never
+     advances in sequential mode. *)
+  Sf_engine.Network.set_trace_clock network (fun () -> obs_now t);
   t
 
 let config t = t.config
@@ -228,11 +264,14 @@ let initiate_at t ~synchronous node =
   let outcome =
     match result with
     | Protocol.Self_loop ->
-      t.total_self_loops <- t.total_self_loops + 1;
+      Sf_obs.Metrics.incr t.total_self_loops;
       Audit_self_loop
     | Protocol.Send { destination; message; duplicated } ->
-      t.total_sends <- t.total_sends + 1;
-      if duplicated then t.total_duplications <- t.total_duplications + 1;
+      Sf_obs.Metrics.incr t.total_sends;
+      if duplicated then begin
+        Sf_obs.Metrics.incr t.total_duplications;
+        trace t (Sf_obs.Trace.Duplicate { node = node.Protocol.node_id })
+      end;
       let delivery =
         if synchronous then begin
           let lost_before =
@@ -242,7 +281,7 @@ let initiate_at t ~synchronous node =
           t.last_receive <- None;
           let delivered =
             Sf_engine.Network.send_immediate t.network
-              ~src:node.Protocol.node_id ~dst:destination message
+              ~src:node.Protocol.node_id ~duplicated ~dst:destination message
           in
           t.suppress_receipt <- false;
           let lost_after =
@@ -256,7 +295,7 @@ let initiate_at t ~synchronous node =
           else To_dead
         end
         else begin
-          Sf_engine.Network.send t.network ~src:node.Protocol.node_id
+          Sf_engine.Network.send t.network ~src:node.Protocol.node_id ~duplicated
             ~dst:destination message;
           In_flight
         end
@@ -336,6 +375,7 @@ let schedule_node t scheduling node =
   let rec tick () =
     (* The node may have left since this event was scheduled. *)
     if Hashtbl.mem t.nodes node.Protocol.node_id then begin
+      trace t (Sf_obs.Trace.Timer { node = node.Protocol.node_id });
       poll_faults t;
       (* A crashed node skips its initiation but keeps its clock running, so
          it resumes — with its stale view — when the window closes. *)
@@ -370,6 +410,7 @@ let add_node t ~bootstrap =
     bootstrap;
   install_node t node;
   (match t.timed with Some s -> schedule_node t s node | None -> ());
+  trace t (Sf_obs.Trace.Mark { label = "add_node" });
   emit t (Structural "add_node");
   id
 
@@ -380,6 +421,8 @@ let remove_node t id =
     Hashtbl.remove t.nodes id;
     Sf_engine.Network.unregister t.network id;
     t.live_dirty <- true;
+    Sf_obs.Metrics.set t.live_gauge (float_of_int (Hashtbl.length t.nodes));
+    trace t (Sf_obs.Trace.Mark { label = "remove_node" });
     emit t (Structural "remove_node");
     Some node
 
@@ -473,6 +516,8 @@ let reconnect t ~node_id =
             (* Keep the outdegree even (Observation 5.1). *)
             if View.degree node.Protocol.view mod 2 = 1 then
               install donor.Protocol.node_id;
+            Sf_obs.Metrics.incr t.total_reconnections;
+            trace t (Sf_obs.Trace.Mark { label = "reconnect" });
             emit t (Structural "reconnect");
             Reconnected
               { donor = donor.Protocol.node_id; probes = !probes; installed = !installed }
@@ -526,6 +571,8 @@ let rebootstrap t ~node_id =
     install donor.Protocol.node_id;
     List.iter (fun (e : View.entry) -> install e.View.id) donated;
     if View.degree node.Protocol.view mod 2 = 1 then install donor.Protocol.node_id;
+    Sf_obs.Metrics.incr t.total_rebootstraps;
+    trace t (Sf_obs.Trace.Mark { label = "rebootstrap" });
     emit t (Structural "rebootstrap");
     !installed
 
@@ -578,13 +625,14 @@ type world_counters = {
 
 let world_counters t =
   let net = Sf_engine.Network.statistics t.network in
+  let count = Sf_obs.Metrics.count in
   {
     actions = t.actions;
-    self_loops = t.total_self_loops;
-    sends = t.total_sends;
-    duplications = t.total_duplications;
-    receipts = t.total_receipts;
-    deletions = t.total_deletions;
+    self_loops = count t.total_self_loops;
+    sends = count t.total_sends;
+    duplications = count t.total_duplications;
+    receipts = count t.total_receipts;
+    deletions = count t.total_deletions;
     messages_lost = net.Sf_engine.Network.messages_lost;
   }
 

@@ -50,6 +50,7 @@ val create :
   ?destination_loss:(int -> float) ->
   ?audit:(t -> audit_event -> unit) ->
   ?scenario:Sf_faults.Scenario.t ->
+  ?obs:Sf_obs.Obs.t ->
   seed:int ->
   n:int ->
   loss_rate:float ->
@@ -67,7 +68,20 @@ val create :
     byte-for-byte.  The scenario's round clock is [actions / n] in
     sequential mode and virtual time in timed mode; window boundary
     crossings surface as [Structural] audit events so the invariant auditor
-    resyncs its conservation baseline. *)
+    resyncs its conservation baseline.
+
+    [obs] is the observability bundle shared by the runner, its network
+    and its fault injector: all [runner_*], [net_*] and [faults_*]
+    metrics land in its registry, and — when a tracer is attached —
+    protocol events (Send/Drop/Deliver/Duplicate/Delete/Timer/Fault/Mark)
+    are recorded, stamped with the injected round clock (sequential mode)
+    or virtual time (timed mode).  A private bundle is used when omitted.
+    Observation consumes no randomness: instrumented runs replay
+    byte-identically. *)
+
+val obs : t -> Sf_obs.Obs.t
+(** The runner's observability bundle (the one passed to {!create}, or
+    the private default). *)
 
 val config : t -> Protocol.config
 

@@ -18,6 +18,7 @@ val create :
   ?latency:(Sf_prng.Rng.t -> float) ->
   ?destination_loss:(int -> float) ->
   ?injector:Sf_faults.Injector.t ->
+  ?obs:Sf_obs.Obs.t ->
   sim:Sim.t ->
   rng:Sf_prng.Rng.t ->
   loss_rate:float ->
@@ -32,7 +33,13 @@ val create :
     partitions, crashes, delay spikes, corruption — see {!Sf_faults}).
     Without one — or with {!Sf_faults.Scenario.default} — the send path
     performs the historical single Bernoulli draw per message, so
-    fault-free runs replay byte-identically. *)
+    fault-free runs replay byte-identically.
+
+    [obs] is the observability bundle receiving the [net_*] counters and
+    (when a tracer is attached) Send/Drop/Deliver trace records stamped
+    with virtual time; a private bundle is used when omitted.  Observation
+    consumes no randomness, so instrumented runs replay byte-identically
+    too. *)
 
 val register : 'msg t -> int -> ('msg -> unit) -> unit
 (** Attach the receive handler of a (live) node. *)
@@ -44,13 +51,20 @@ val is_registered : 'msg t -> int -> bool
 
 val loss_rate : 'msg t -> float
 
-val send : 'msg t -> ?src:int -> dst:int -> 'msg -> unit
+val set_trace_clock : 'msg t -> (unit -> float) -> unit
+(** Override the clock stamping trace records (default: the virtual
+    clock).  The sequential runner installs its action-count round clock
+    so one trace dump never mixes time units. *)
+
+val send : 'msg t -> ?src:int -> ?duplicated:bool -> dst:int -> 'msg -> unit
 (** Fire-and-forget asynchronous send; lost with probability [loss_rate]
     (or per the fault injector), otherwise delivered after a latency draw.
     [src] identifies the sender to the injector's partition and crash
-    checks; the default [-1] is exempt from them. *)
+    checks; the default [-1] is exempt from them.  [duplicated] annotates
+    the Send trace record (the protocol layer owns the decision). *)
 
-val send_immediate : 'msg t -> ?src:int -> dst:int -> 'msg -> bool
+val send_immediate :
+  'msg t -> ?src:int -> ?duplicated:bool -> dst:int -> 'msg -> bool
 (** Sequential-action send: runs the receive step synchronously. Returns
     [true] iff delivered to a live handler. *)
 

@@ -20,25 +20,36 @@ type stats = {
 
 type wstate = { window : Scenario.window; mutable active : bool }
 
+(* Cause-resolved counters, registered once in the driver's metrics
+   registry (a private registry when the driver passes none): each judge
+   outcome is a single O(1) counter increment, exactly the cost of the
+   mutable int fields these replaced. *)
+type counters = {
+  judged : Sf_obs.Metrics.counter;
+  chance_drops : Sf_obs.Metrics.counter;
+  burst_drops : Sf_obs.Metrics.counter;
+  partition_drops : Sf_obs.Metrics.counter;
+  crash_drops : Sf_obs.Metrics.counter;
+  corruptions : Sf_obs.Metrics.counter;
+  fault_transitions : Sf_obs.Metrics.counter;
+}
+
 type t = {
   scenario : Scenario.t;
   n : int;
   loss : Loss.t;
   windows : wstate array;
+  c : counters;
   mutable clock : unit -> float;
   mutable pending : string list;  (* boundary transitions, newest first *)
-  mutable judged : int;
-  mutable chance_drops : int;
-  mutable burst_drops : int;
-  mutable partition_drops : int;
-  mutable crash_drops : int;
-  mutable corruptions : int;
-  mutable fault_transitions : int;
 }
 
-let create ~scenario ~n () =
+let create ?metrics ~scenario ~n () =
   if n <= 0 then invalid_arg "Injector.create: need a positive population";
   List.iter Scenario.validate_window scenario.Scenario.windows;
+  let m =
+    match metrics with Some m -> m | None -> Sf_obs.Metrics.create ()
+  in
   {
     scenario;
     n;
@@ -46,15 +57,18 @@ let create ~scenario ~n () =
     windows =
       Array.of_list
         (List.map (fun w -> { window = w; active = false }) scenario.Scenario.windows);
+    c =
+      {
+        judged = Sf_obs.Metrics.counter m "faults_judged";
+        chance_drops = Sf_obs.Metrics.counter m "faults_chance_drops";
+        burst_drops = Sf_obs.Metrics.counter m "faults_burst_drops";
+        partition_drops = Sf_obs.Metrics.counter m "faults_partition_drops";
+        crash_drops = Sf_obs.Metrics.counter m "faults_crash_drops";
+        corruptions = Sf_obs.Metrics.counter m "faults_corruptions";
+        fault_transitions = Sf_obs.Metrics.counter m "faults_transitions";
+      };
     clock = (fun () -> 0.);
     pending = [];
-    judged = 0;
-    chance_drops = 0;
-    burst_drops = 0;
-    partition_drops = 0;
-    crash_drops = 0;
-    corruptions = 0;
-    fault_transitions = 0;
   }
 
 let set_clock t clock = t.clock <- clock
@@ -69,7 +83,7 @@ let refresh t =
         let active = ws.window.Scenario.start <= now && now < ws.window.Scenario.stop in
         if active <> ws.active then begin
           ws.active <- active;
-          t.fault_transitions <- t.fault_transitions + 1;
+          Sf_obs.Metrics.incr t.c.fault_transitions;
           t.pending <-
             Fmt.str "%s:%s"
               (if active then "fault-start" else "fault-end")
@@ -149,35 +163,36 @@ let delay_factor t =
 
 let judge t rng ~chance ~src ~dst =
   refresh t;
-  t.judged <- t.judged + 1;
+  Sf_obs.Metrics.incr t.c.judged;
   if is_crashed t src || is_crashed t dst then begin
-    t.crash_drops <- t.crash_drops + 1;
+    Sf_obs.Metrics.incr t.c.crash_drops;
     Drop Crashed
   end
   else if partitioned t ~src ~dst then begin
-    t.partition_drops <- t.partition_drops + 1;
+    Sf_obs.Metrics.incr t.c.partition_drops;
     Drop Partitioned
   end
   else if Loss.drop t.loss rng ~chance ~src ~dst then begin
-    t.chance_drops <- t.chance_drops + 1;
-    if Loss.in_burst t.loss then t.burst_drops <- t.burst_drops + 1;
+    Sf_obs.Metrics.incr t.c.chance_drops;
+    if Loss.in_burst t.loss then Sf_obs.Metrics.incr t.c.burst_drops;
     Drop Chance
   end
   else
     let rate = corruption_rate t in
     if rate > 0. && Sf_prng.Rng.bernoulli rng rate then begin
-      t.corruptions <- t.corruptions + 1;
+      Sf_obs.Metrics.incr t.c.corruptions;
       Corrupt_payload
     end
     else Deliver
 
-let statistics t =
+let statistics t : stats =
+  let count = Sf_obs.Metrics.count in
   {
-    judged = t.judged;
-    chance_drops = t.chance_drops;
-    burst_drops = t.burst_drops;
-    partition_drops = t.partition_drops;
-    crash_drops = t.crash_drops;
-    corruptions = t.corruptions;
-    fault_transitions = t.fault_transitions;
+    judged = count t.c.judged;
+    chance_drops = count t.c.chance_drops;
+    burst_drops = count t.c.burst_drops;
+    partition_drops = count t.c.partition_drops;
+    crash_drops = count t.c.crash_drops;
+    corruptions = count t.c.corruptions;
+    fault_transitions = count t.c.fault_transitions;
   }

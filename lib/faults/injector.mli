@@ -39,10 +39,12 @@ type stats = {
 
 type t
 
-val create : scenario:Scenario.t -> n:int -> unit -> t
+val create : ?metrics:Sf_obs.Metrics.t -> scenario:Scenario.t -> n:int -> unit -> t
 (** [n] is the initial population size, used to map ids onto partition
     blocks.  The clock defaults to a constant [0.]; drivers must call
-    {!set_clock} before running. *)
+    {!set_clock} before running.  [metrics] is the registry receiving the
+    [faults_*] counters ({!statistics} reads them back); a private registry
+    is used when omitted. *)
 
 val set_clock : t -> (unit -> float) -> unit
 (** Install the driver's round clock (see {!Scenario} for the unit). *)

@@ -42,27 +42,35 @@ type t = {
   base_port : int;
   period : float;
   loss_rate : float;
-  (* Injected clock: tests drive virtual time; production uses the wall
-     clock.  The only wall-clock dependence in the whole tree sits in this
-     default. *)
+  (* Injected clock: tests drive virtual time; production uses
+     [Sf_obs.Clock.wall] — the tree's single sanctioned wall-clock
+     source. *)
   now : unit -> float;
+  started : float;  (* clock reading at creation; trace stamps are rounds
+                       since then, matching the injector's round clock *)
   rng : Sf_prng.Rng.t;
   injector : Sf_faults.Injector.t option;
   nodes : node_state array;
   read_buffer : bytes;
+  obs : Sf_obs.Obs.t;
+  (* Registry counters (one O(1) increment each, the same cost as the
+     mutable int fields they replaced); [statistics] reads them back. *)
+  c_sent : Sf_obs.Metrics.counter;
+  c_dropped : Sf_obs.Metrics.counter;  (* injected loss (any fault cause) *)
+  c_received : Sf_obs.Metrics.counter;
+  c_corrupted : Sf_obs.Metrics.counter;
+  c_delayed : Sf_obs.Metrics.counter;
+  c_crash_dropped : Sf_obs.Metrics.counter;
+  c_oversized : Sf_obs.Metrics.counter;
+  c_truncated : Sf_obs.Metrics.counter;
+  c_decode_errors : Sf_obs.Metrics.counter;
+  c_send_errors : Sf_obs.Metrics.counter;
+  (* Codec profiling, timed with the injected clock. *)
+  encode_span : Sf_obs.Span.t;
+  decode_span : Sf_obs.Span.t;
   mutable delayed : delayed_datagram list;
   mutable next_serial : int;
   mutable actions : int;
-  mutable datagrams_sent : int;
-  mutable datagrams_dropped : int;  (* injected loss (any fault cause) *)
-  mutable datagrams_received : int;
-  mutable datagrams_corrupted : int;
-  mutable datagrams_delayed : int;
-  mutable datagrams_crash_dropped : int;
-  mutable datagrams_oversized : int;
-  mutable datagrams_truncated : int;
-  mutable decode_errors : int;
-  mutable send_errors : int;
 }
 
 let address_of t node_id =
@@ -73,15 +81,20 @@ let fresh_serial t =
   t.next_serial <- s + 1;
   s
 
-let create ?(period = 0.01) ?(now = Unix.gettimeofday) ?scenario ~base_port ~n
-    ~config ~loss_rate ~seed ~topology () =
+let create ?(period = 0.01) ?(now = Sf_obs.Clock.wall) ?scenario ?obs ~base_port
+    ~n ~config ~loss_rate ~seed ~topology () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one node";
   if base_port < 1024 || base_port + n > 65_535 then
     invalid_arg "Cluster.create: port range out of bounds";
   let rng = Sf_prng.Rng.create seed in
+  let obs = match obs with Some o -> o | None -> Sf_obs.Obs.create () in
+  let metrics = Sf_obs.Obs.metrics obs in
   let injector =
-    Option.map (fun sc -> Sf_faults.Injector.create ~scenario:sc ~n ()) scenario
+    Option.map
+      (fun sc -> Sf_faults.Injector.create ~metrics ~scenario:sc ~n ())
+      scenario
   in
+  let start = now () in
   let t =
     {
       config;
@@ -89,26 +102,30 @@ let create ?(period = 0.01) ?(now = Unix.gettimeofday) ?scenario ~base_port ~n
       period;
       loss_rate;
       now;
+      started = start;
       rng;
       injector;
       nodes = [||];
       read_buffer = Bytes.create Codec.recv_buffer_size;
+      obs;
+      c_sent = Sf_obs.Metrics.counter metrics "cluster_datagrams_sent";
+      c_dropped = Sf_obs.Metrics.counter metrics "cluster_datagrams_dropped";
+      c_received = Sf_obs.Metrics.counter metrics "cluster_datagrams_received";
+      c_corrupted = Sf_obs.Metrics.counter metrics "cluster_datagrams_corrupted";
+      c_delayed = Sf_obs.Metrics.counter metrics "cluster_datagrams_delayed";
+      c_crash_dropped =
+        Sf_obs.Metrics.counter metrics "cluster_datagrams_crash_dropped";
+      c_oversized = Sf_obs.Metrics.counter metrics "cluster_datagrams_oversized";
+      c_truncated = Sf_obs.Metrics.counter metrics "cluster_datagrams_truncated";
+      c_decode_errors = Sf_obs.Metrics.counter metrics "cluster_decode_errors";
+      c_send_errors = Sf_obs.Metrics.counter metrics "cluster_send_errors";
+      encode_span = Sf_obs.Span.create ~clock:now metrics "codec_encode_seconds";
+      decode_span = Sf_obs.Span.create ~clock:now metrics "codec_decode_seconds";
       delayed = [];
       next_serial = 0;
       actions = 0;
-      datagrams_sent = 0;
-      datagrams_dropped = 0;
-      datagrams_received = 0;
-      datagrams_corrupted = 0;
-      datagrams_delayed = 0;
-      datagrams_crash_dropped = 0;
-      datagrams_oversized = 0;
-      datagrams_truncated = 0;
-      decode_errors = 0;
-      send_errors = 0;
     }
   in
-  let start = t.now () in
   (* One round of the scenario clock = one firing period elapsed. *)
   Option.iter
     (fun inj ->
@@ -159,45 +176,57 @@ let is_crashed t node_id =
   | None -> false
   | Some injector -> Sf_faults.Injector.is_crashed injector node_id
 
+(* Trace stamps are rounds since creation — the same unit as the
+   injector's round clock, and derived from the injected [now] so
+   virtual-clock tests stay deterministic. *)
+let trace t event =
+  if Sf_obs.Obs.tracing t.obs then
+    Sf_obs.Obs.trace t.obs ~now:((t.now () -. t.started) /. t.period) event
+
 let transmit t ~via ~packet ~target =
   try ignore (Unix.sendto via packet 0 (Bytes.length packet) [] target)
-  with Unix.Unix_error _ -> t.send_errors <- t.send_errors + 1
+  with Unix.Unix_error _ -> Sf_obs.Metrics.incr t.c_send_errors
 
 (* One initiate step at [ns]; the message goes out as a datagram unless the
    loss draw — or an active fault window — eats it. *)
 let fire t ns =
   t.actions <- t.actions + 1;
+  trace t (Sf_obs.Trace.Timer { node = ns.node.Sf_core.Protocol.node_id });
   match
     Sf_core.Protocol.initiate t.config t.rng ~fresh_serial:(fun () -> fresh_serial t)
       ~clock:t.actions ns.node
   with
   | Sf_core.Protocol.Self_loop -> ()
-  | Sf_core.Protocol.Send { destination; message; _ } -> (
-    t.datagrams_sent <- t.datagrams_sent + 1;
+  | Sf_core.Protocol.Send { destination; message; duplicated } -> (
+    let src = ns.node.Sf_core.Protocol.node_id in
+    Sf_obs.Metrics.incr t.c_sent;
+    trace t (Sf_obs.Trace.Send { src; dst = destination; duplicated });
     let verdict =
       match t.injector with
       | None ->
         if Sf_prng.Rng.bernoulli t.rng t.loss_rate then `Drop else `Deliver
       | Some injector -> (
         match
-          Sf_faults.Injector.judge injector t.rng ~chance:t.loss_rate
-            ~src:ns.node.Sf_core.Protocol.node_id ~dst:destination
+          Sf_faults.Injector.judge injector t.rng ~chance:t.loss_rate ~src
+            ~dst:destination
         with
         | Sf_faults.Injector.Deliver -> `Deliver
         | Sf_faults.Injector.Corrupt_payload -> `Corrupt
         | Sf_faults.Injector.Drop _ -> `Drop)
     in
     match verdict with
-    | `Drop -> t.datagrams_dropped <- t.datagrams_dropped + 1
+    | `Drop ->
+      Sf_obs.Metrics.incr t.c_dropped;
+      trace t (Sf_obs.Trace.Drop { src; dst = destination; cause = "injected" })
     | (`Deliver | `Corrupt) as fate ->
       if destination >= 0 && destination < Array.length t.nodes then begin
-        let packet = Codec.encode message in
+        let packet = Sf_obs.Span.time t.encode_span (fun () -> Codec.encode message) in
         (match fate with
         | `Corrupt ->
           (* Flip the magic byte: real corrupted bytes on the wire, which
              the receiving codec rejects — the datagram is spent but the
              error path is exercised. *)
-          t.datagrams_corrupted <- t.datagrams_corrupted + 1;
+          Sf_obs.Metrics.incr t.c_corrupted;
           Bytes.set packet 0
             (Char.chr (Char.code (Bytes.get packet 0) lxor 0xff))
         | `Deliver -> ());
@@ -209,7 +238,7 @@ let fire t ns =
         if delay_factor > 1.0 then begin
           (* Loopback latency is negligible, so a delay window holds the
              datagram for [factor] firing periods instead. *)
-          t.datagrams_delayed <- t.datagrams_delayed + 1;
+          Sf_obs.Metrics.incr t.c_delayed;
           t.delayed <-
             {
               release_at = t.now () +. (delay_factor *. t.period);
@@ -244,21 +273,31 @@ let drain t ns =
       continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | length, _from ->
-      if is_crashed t ns.node.Sf_core.Protocol.node_id then
-        t.datagrams_crash_dropped <- t.datagrams_crash_dropped + 1
+      let dst = ns.node.Sf_core.Protocol.node_id in
+      if is_crashed t dst then begin
+        Sf_obs.Metrics.incr t.c_crash_dropped;
+        trace t (Sf_obs.Trace.Drop { src = -1; dst; cause = "crash" })
+      end
       else begin
-        t.datagrams_received <- t.datagrams_received + 1;
+        Sf_obs.Metrics.incr t.c_received;
         if length > Codec.message_size then
           (* Only possible for foreign traffic: our codec never produces
              it, and the buffer headroom makes it observable. *)
-          t.datagrams_oversized <- t.datagrams_oversized + 1
+          Sf_obs.Metrics.incr t.c_oversized
         else
-          match Codec.decode t.read_buffer ~length with
+          match
+            Sf_obs.Span.time t.decode_span (fun () ->
+                Codec.decode t.read_buffer ~length)
+          with
           | Ok message ->
+            trace t (Sf_obs.Trace.Deliver { dst; accepted = true });
             ignore (Sf_core.Protocol.receive t.config t.rng ns.node message)
           | Error (Codec.Too_short _) ->
-            t.datagrams_truncated <- t.datagrams_truncated + 1
-          | Error _ -> t.decode_errors <- t.decode_errors + 1
+            Sf_obs.Metrics.incr t.c_truncated;
+            trace t (Sf_obs.Trace.Deliver { dst; accepted = false })
+          | Error _ ->
+            Sf_obs.Metrics.incr t.c_decode_errors;
+            trace t (Sf_obs.Trace.Deliver { dst; accepted = false })
       end
   done
 
@@ -355,16 +394,19 @@ type statistics = {
 }
 
 let statistics (t : t) =
+  let count = Sf_obs.Metrics.count in
   {
     actions = t.actions;
-    datagrams_sent = t.datagrams_sent;
-    datagrams_dropped = t.datagrams_dropped;
-    datagrams_received = t.datagrams_received;
-    datagrams_corrupted = t.datagrams_corrupted;
-    datagrams_delayed = t.datagrams_delayed;
-    datagrams_crash_dropped = t.datagrams_crash_dropped;
-    datagrams_oversized = t.datagrams_oversized;
-    datagrams_truncated = t.datagrams_truncated;
-    decode_errors = t.decode_errors;
-    send_errors = t.send_errors;
+    datagrams_sent = count t.c_sent;
+    datagrams_dropped = count t.c_dropped;
+    datagrams_received = count t.c_received;
+    datagrams_corrupted = count t.c_corrupted;
+    datagrams_delayed = count t.c_delayed;
+    datagrams_crash_dropped = count t.c_crash_dropped;
+    datagrams_oversized = count t.c_oversized;
+    datagrams_truncated = count t.c_truncated;
+    decode_errors = count t.c_decode_errors;
+    send_errors = count t.c_send_errors;
   }
+
+let obs t = t.obs

@@ -11,6 +11,7 @@ val create :
   ?period:float ->
   ?now:(unit -> float) ->
   ?scenario:Sf_faults.Scenario.t ->
+  ?obs:Sf_obs.Obs.t ->
   base_port:int ->
   n:int ->
   config:Sf_core.Protocol.config ->
@@ -23,8 +24,13 @@ val create :
     and seed the views from [topology]. [period] is the mean time between a
     node's initiations in seconds (default 10 ms). [loss_rate] is injected
     at the sender (loopback UDP rarely drops on its own). [now] is the
-    clock driving timers and deadlines — the wall clock by default; inject
-    a virtual clock to make runs time-deterministic in tests.
+    clock driving timers and deadlines — {!Sf_obs.Clock.wall} by default;
+    inject a virtual clock to make runs time-deterministic in tests.
+
+    [obs] is the observability bundle: all [cluster_*] counters and the
+    [codec_*_seconds] span histograms land in its registry (a private one
+    when omitted), and — when a tracer is attached — datagram events are
+    recorded, stamped in rounds of the injected clock since creation.
 
     [scenario] routes every datagram through the same fault plan the
     simulator uses ({!Sf_faults.Scenario}): bursty loss, partitions,
@@ -77,3 +83,8 @@ type statistics = {
 }
 
 val statistics : t -> statistics
+(** Thin reads of the registry counters (plus the action count). *)
+
+val obs : t -> Sf_obs.Obs.t
+(** The cluster's observability bundle (the one passed to {!create}, or
+    the private default). *)

@@ -1,0 +1,25 @@
+(* The single ambient time source in the whole tree.
+
+   Every other module takes an *injected* clock — a [unit -> float]
+   argument or a virtual clock such as [Sf_engine.Sim.now] — so that
+   simulations replay deterministically from a seed.  Code that genuinely
+   needs real time (the UDP cluster's default timers, bench section
+   timing, span profiling of wall-clock cost) obtains it from here, which
+   keeps the wall-clock dependence auditable: the sf_lint
+   [clock-discipline] rule forbids [Unix.gettimeofday]/[Sys.time]
+   everywhere except this file. *)
+
+let wall = Unix.gettimeofday
+
+(* Per-process CPU seconds: immune to preemption by other processes, so
+   overhead ratios measured with it are stable on shared or single-core
+   machines where wall time is not. *)
+let cpu = Sys.time
+
+(* A stopwatch over an arbitrary clock: returns a thunk yielding seconds
+   (or whatever unit [clock] ticks in) since creation.  With [wall] this is
+   the bench harness's section timer; with a virtual clock it measures
+   simulated time spans. *)
+let stopwatch ~clock =
+  let t0 = clock () in
+  fun () -> clock () -. t0

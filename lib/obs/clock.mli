@@ -1,0 +1,18 @@
+(** The single ambient time source in the tree.
+
+    All other modules receive clocks by injection (an explicit
+    [unit -> float] or a virtual clock like [Sf_engine.Sim.now]); the
+    sf_lint [clock-discipline] rule enforces that wall/process clocks are
+    opened only here.  Drivers that default to real time (the UDP cluster,
+    bench timing) take their default from {!wall}. *)
+
+val wall : unit -> float
+(** The wall clock, in seconds since the epoch ([Unix.gettimeofday]). *)
+
+val cpu : unit -> float
+(** Per-process CPU seconds ([Sys.time]): preferred for overhead ratios,
+    which wall time misstates whenever another process preempts the run. *)
+
+val stopwatch : clock:(unit -> float) -> unit -> float
+(** [stopwatch ~clock] samples [clock] now and returns a thunk yielding
+    the elapsed amount on each call. *)

@@ -1,0 +1,22 @@
+(** Minimal deterministic JSON emitter for machine-readable artifacts.
+
+    Emission only; object fields keep the given order and numbers use a
+    fixed format, so equal values serialize to identical bytes — the
+    property the byte-identical trace-dump guarantee rests on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val number_repr : float -> string
+(** The fixed float format used by {!to_string} ([%.12g], with a trailing
+    [.0] added to integral values so the token reads back as a float). *)
+
+val to_string : t -> string
+
+val to_buffer : Buffer.t -> t -> unit

@@ -1,0 +1,281 @@
+(* Metrics registry: named counters, gauges and log-bucketed histograms.
+
+   Everything is allocated once at registration; the hot-path operations
+   ([incr], [add], [set], [observe]) are plain field updates or a single
+   array increment, so instrumented gossip runs cost the same as the
+   ad-hoc mutable counters they replaced.  Export (Prometheus text, CSV)
+   walks the registry in name order, so snapshots of equal state are
+   byte-identical.
+
+   Histograms are HDR-style: base-2 octaves (one per binary exponent of
+   the value) each split into [sub_buckets_per_octave] linear sub-buckets.
+   Bucket boundaries are dyadic rationals, so the value -> bucket mapping
+   is exact (no rounding ambiguity at boundaries), and the maximal
+   relative quantile error is 1 / sub_buckets_per_octave.  Exact count,
+   sum, min and max are tracked alongside, and quantiles are clamped to
+   [min, max] — a single-valued histogram round-trips exactly. *)
+
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_level : float }
+
+(* --- Histogram bucketing --- *)
+
+let sub_buckets_per_octave = 16
+
+(* Octave = the [frexp] exponent e with v = m * 2^e, m in [0.5, 1).
+   Exponents cover 2^-33 .. 2^32: ~1e-10 (fractions of a microsecond,
+   tiny rates) up to ~4e9 (large counts, long durations in any unit). *)
+let min_exponent = -32
+let max_exponent = 32
+let octaves = max_exponent - min_exponent + 1
+
+(* Bucket 0 is the underflow bucket (zero, negatives, NaN, values below
+   the first octave); buckets 1 .. octaves * sub_buckets_per_octave cover
+   the octave range; values beyond the last octave clamp into the final
+   bucket. *)
+let bucket_count = 1 + (octaves * sub_buckets_per_octave)
+
+let bucket_of_value v =
+  if Float.is_nan v || v <= 0. then 0
+  else
+    let m, e = Float.frexp v in
+    if e < min_exponent then 0
+    else if e > max_exponent then bucket_count - 1
+    else
+      let sub =
+        int_of_float ((m -. 0.5) *. 2. *. float_of_int sub_buckets_per_octave)
+      in
+      let sub = min sub (sub_buckets_per_octave - 1) in
+      1 + (((e - min_exponent) * sub_buckets_per_octave) + sub)
+
+(* Inclusive lower bound of a bucket: the smallest value mapping to it. *)
+let bucket_lower index =
+  if index <= 0 then 0.
+  else
+    let k = index - 1 in
+    let e = min_exponent + (k / sub_buckets_per_octave) in
+    let sub = k mod sub_buckets_per_octave in
+    Float.ldexp
+      (0.5 +. (float_of_int sub /. float_of_int (2 * sub_buckets_per_octave)))
+      e
+
+(* Exclusive upper bound: the lower bound of the next bucket (infinity for
+   the final, clamping bucket). *)
+let bucket_upper index =
+  if index >= bucket_count - 1 then Float.infinity else bucket_lower (index + 1)
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let observe h v =
+  let b = bucket_of_value v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let observations h = h.h_count
+let total h = h.h_sum
+let minimum h = if h.h_count = 0 then Float.nan else h.h_min
+let maximum h = if h.h_count = 0 then Float.nan else h.h_max
+let mean h = if h.h_count = 0 then Float.nan else h.h_sum /. float_of_int h.h_count
+
+(* Quantile estimate: lower bound of the first bucket whose cumulative
+   count reaches ceil(q * count), clamped to the exact observed range. *)
+let quantile h q =
+  if h.h_count = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count))) in
+    let rec find i acc =
+      if i >= bucket_count then h.h_max
+      else
+        let acc = acc + h.buckets.(i) in
+        if acc >= target then bucket_lower i else find (i + 1) acc
+    in
+    let raw = find 0 0 in
+    Float.max h.h_min (Float.min h.h_max raw)
+  end
+
+(* --- Registry --- *)
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { items : (string, metric) Hashtbl.t }
+
+let create () = { items = Hashtbl.create 64 }
+
+let validate_name name =
+  if name = "" then invalid_arg "Metrics: empty metric name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> invalid_arg (Fmt.str "Metrics: invalid metric name %S" name))
+    name
+
+let counter t name =
+  match Hashtbl.find_opt t.items name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Fmt.str "Metrics.counter: %S registered as another kind" name)
+  | None ->
+    validate_name name;
+    let c = { c_name = name; c_count = 0 } in
+    Hashtbl.replace t.items name (Counter c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.items name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Fmt.str "Metrics.gauge: %S registered as another kind" name)
+  | None ->
+    validate_name name;
+    let g = { g_name = name; g_level = 0. } in
+    Hashtbl.replace t.items name (Gauge g);
+    g
+
+let histogram t name =
+  match Hashtbl.find_opt t.items name with
+  | Some (Histogram h) -> h
+  | Some _ ->
+    invalid_arg (Fmt.str "Metrics.histogram: %S registered as another kind" name)
+  | None ->
+    validate_name name;
+    let h =
+      {
+        h_name = name;
+        buckets = Array.make bucket_count 0;
+        h_count = 0;
+        h_sum = 0.;
+        h_min = Float.infinity;
+        h_max = Float.neg_infinity;
+      }
+    in
+    Hashtbl.replace t.items name (Histogram h);
+    h
+
+let incr c = c.c_count <- c.c_count + 1
+let add c n = c.c_count <- c.c_count + n
+let count c = c.c_count
+let counter_name c = c.c_name
+
+let set g level = g.g_level <- level
+let level g = g.g_level
+let gauge_name g = g.g_name
+
+let histogram_name h = h.h_name
+
+let find_counter t name =
+  match Hashtbl.find_opt t.items name with Some (Counter c) -> Some c | _ -> None
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.items name with Some (Gauge g) -> Some g | _ -> None
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.items name with
+  | Some (Histogram h) -> Some h
+  | _ -> None
+
+(* Name-sorted view of the registry: export order is deterministic and
+   independent of registration or hash order. *)
+let sorted t =
+  Hashtbl.fold (fun name metric acc -> (name, metric) :: acc) t.items []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- Exporters --- *)
+
+let float_repr = Json.number_repr
+
+(* Prometheus text exposition format. *)
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Counter c ->
+        Buffer.add_string buf (Fmt.str "# TYPE %s counter\n%s %d\n" name name c.c_count)
+      | Gauge g ->
+        Buffer.add_string buf
+          (Fmt.str "# TYPE %s gauge\n%s %s\n" name name (float_repr g.g_level))
+      | Histogram h ->
+        Buffer.add_string buf (Fmt.str "# TYPE %s histogram\n" name);
+        let cumulative = ref 0 in
+        for i = 0 to bucket_count - 2 do
+          let n = h.buckets.(i) in
+          if n > 0 then begin
+            cumulative := !cumulative + n;
+            Buffer.add_string buf
+              (Fmt.str "%s_bucket{le=\"%s\"} %d\n" name
+                 (float_repr (bucket_upper i))
+                 !cumulative)
+          end
+        done;
+        (* The terminal +Inf bucket is mandatory and also covers the
+           clamping overflow bucket. *)
+        Buffer.add_string buf (Fmt.str "%s_bucket{le=\"+Inf\"} %d\n" name h.h_count);
+        Buffer.add_string buf
+          (Fmt.str "%s_sum %s\n%s_count %d\n" name (float_repr h.h_sum) name h.h_count))
+    (sorted t);
+  Buffer.contents buf
+
+(* CSV snapshot: kind,name,field,value — one row per scalar, a summary row
+   set per histogram. *)
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kind,name,field,value\n";
+  let row kind name field value =
+    Buffer.add_string buf (Fmt.str "%s,%s,%s,%s\n" kind name field value)
+  in
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Counter c -> row "counter" name "value" (string_of_int c.c_count)
+      | Gauge g -> row "gauge" name "value" (float_repr g.g_level)
+      | Histogram h ->
+        row "histogram" name "count" (string_of_int h.h_count);
+        row "histogram" name "sum" (float_repr h.h_sum);
+        if h.h_count > 0 then begin
+          row "histogram" name "min" (float_repr h.h_min);
+          row "histogram" name "max" (float_repr h.h_max);
+          row "histogram" name "p50" (float_repr (quantile h 0.5));
+          row "histogram" name "p90" (float_repr (quantile h 0.9));
+          row "histogram" name "p99" (float_repr (quantile h 0.99))
+        end)
+    (sorted t);
+  Buffer.contents buf
+
+(* JSON snapshot, for bench artifacts. *)
+let to_json t =
+  let field (name, metric) =
+    match metric with
+    | Counter c -> (name, Json.Int c.c_count)
+    | Gauge g -> (name, Json.Float g.g_level)
+    | Histogram h ->
+      ( name,
+        Json.Obj
+          ([
+             ("count", Json.Int h.h_count);
+             ("sum", Json.Float h.h_sum);
+           ]
+          @
+          if h.h_count = 0 then []
+          else
+            [
+              ("min", Json.Float h.h_min);
+              ("max", Json.Float h.h_max);
+              ("p50", Json.Float (quantile h 0.5));
+              ("p90", Json.Float (quantile h 0.9));
+              ("p99", Json.Float (quantile h 0.99));
+            ]) )
+  in
+  Json.Obj (List.map field (sorted t))

@@ -1,0 +1,25 @@
+(* The observability bundle a driver carries: one metrics registry plus an
+   optional event tracer.
+
+   Every driver (runner, network, UDP cluster, fault injector) owns a
+   bundle — a private one by default, so metric updates are always valid
+   O(1) writes and never behind a branch — while callers that want a
+   global view pass one shared bundle down the stack.  Tracing is off
+   unless a tracer is attached; [trace] is a single option test when
+   disabled, and [tracing] lets hot paths skip stamp computation
+   entirely. *)
+
+type t = { metrics : Metrics.t; tracer : Trace.t option }
+
+let create ?tracer ?metrics () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  { metrics; tracer }
+
+let metrics t = t.metrics
+
+let tracer t = t.tracer
+
+let tracing t = t.tracer <> None
+
+let trace t ~now event =
+  match t.tracer with None -> () | Some tr -> Trace.record tr ~now event

@@ -1,0 +1,23 @@
+(** The observability bundle a driver carries: a metrics registry plus an
+    optional event tracer.
+
+    Drivers default to a private bundle (metrics always on — updates are
+    unconditional O(1) writes); pass one shared bundle down the stack for
+    a global view, and attach a tracer to enable event tracing. *)
+
+type t
+
+val create : ?tracer:Trace.t -> ?metrics:Metrics.t -> unit -> t
+(** A fresh private registry unless [metrics] is given; tracing off
+    unless [tracer] is given. *)
+
+val metrics : t -> Metrics.t
+
+val tracer : t -> Trace.t option
+
+val tracing : t -> bool
+(** [true] iff a tracer is attached — lets hot paths skip computing trace
+    stamps entirely when tracing is off. *)
+
+val trace : t -> now:float -> Trace.event -> unit
+(** Record into the tracer; a no-op without one. *)

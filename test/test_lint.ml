@@ -33,10 +33,6 @@ let report ppf x = Fmt.pf ppf "value %d@." x
 let test_determinism_fires () =
   check_fires "ambient Random" ~rule:"determinism" ~path:"lib/core/bad.ml"
     "let x = Random.int 10";
-  check_fires "wall clock" ~rule:"determinism" ~path:"lib/core/bad.ml"
-    "let t = Unix.gettimeofday ()";
-  check_fires "process clock" ~rule:"determinism" ~path:"lib/core/bad.ml"
-    "let t = Sys.time ()";
   check_fires "polymorphic hash" ~rule:"determinism" ~path:"lib/core/bad.ml"
     "let h = Hashtbl.hash key";
   (* The rule also covers executables and benches, not just lib/. *)
@@ -55,6 +51,25 @@ let test_determinism_quiet () =
     {|let usage = "do not use Sys.time"|};
   check_quiet "nested comment" ~path:"lib/core/good.ml"
     "(* outer (* Random.int *) still comment *)\nlet x = 1"
+
+(* --- clock-discipline --- *)
+
+let test_clock_discipline_fires () =
+  check_fires "wall clock" ~rule:"clock-discipline" ~path:"lib/core/bad.ml"
+    "let t = Unix.gettimeofday ()";
+  check_fires "process clock" ~rule:"clock-discipline" ~path:"lib/core/bad.ml"
+    "let t = Sys.time ()";
+  (* Executables and benches must inject clocks too. *)
+  check_fires "bench too" ~rule:"clock-discipline" ~path:"bench/bad.ml"
+    "let t0 = Unix.gettimeofday ()"
+
+let test_clock_discipline_exempts_obs_clock () =
+  (* The single sanctioned wall-clock site in the tree. *)
+  check_quiet "lib/obs/clock.ml" ~path:"lib/obs/clock.ml"
+    "let wall = Unix.gettimeofday";
+  (* Only that exact path — a neighbour module gets no exemption. *)
+  check_fires "lib/obs/span.ml not exempt" ~rule:"clock-discipline"
+    ~path:"lib/obs/span.ml" "let t = Unix.gettimeofday ()"
 
 (* --- no-obj-magic --- *)
 
@@ -179,16 +194,24 @@ let read path = In_channel.with_open_bin path In_channel.input_all
 let test_real_sources () =
   let view = read "../lib/core/view.ml" in
   check_quiet "lib/core/view.ml" ~path:"lib/core/view.ml" view;
+  (* Since the ?now default moved to Sf_obs.Clock.wall, the cluster driver
+     is clock-clean without any allowlist entry. *)
   let cluster = read "../lib/net/cluster.ml" in
-  let findings = Lint.check_file ~path:"lib/net/cluster.ml" cluster in
-  (* Exactly the one allowlisted wall-clock default survives the refactor. *)
-  Alcotest.(check (list string)) "single determinism site" [ "determinism" ]
-    (rules_of findings)
+  check_quiet "lib/net/cluster.ml" ~path:"lib/net/cluster.ml" cluster;
+  (* The one sanctioned wall-clock site really holds a wall clock (the same
+     source fires under any other path) — and really is exempt. *)
+  let clock = read "../lib/obs/clock.ml" in
+  check_fires "clock.ml holds a wall clock" ~rule:"clock-discipline"
+    ~path:"lib/core/clock.ml" clock;
+  check_quiet "lib/obs/clock.ml" ~path:"lib/obs/clock.ml" clock
 
 let suite =
   [
     Alcotest.test_case "determinism fires" `Quick test_determinism_fires;
     Alcotest.test_case "determinism quiet" `Quick test_determinism_quiet;
+    Alcotest.test_case "clock-discipline fires" `Quick test_clock_discipline_fires;
+    Alcotest.test_case "clock-discipline exempts lib/obs/clock.ml" `Quick
+      test_clock_discipline_exempts_obs_clock;
     Alcotest.test_case "no-obj-magic" `Quick test_obj_magic;
     Alcotest.test_case "no-partial fires" `Quick test_partial_fires;
     Alcotest.test_case "no-partial quiet on _opt" `Quick test_partial_quiet_on_total_variants;

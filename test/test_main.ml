@@ -23,4 +23,5 @@ let () =
       ("lint", Test_lint.suite);
       ("check", Test_check.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
     ]

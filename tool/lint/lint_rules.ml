@@ -144,15 +144,27 @@ let rules =
     {
       id = "determinism";
       doc =
-        "no ambient randomness or wall clocks: Random., Unix.gettimeofday, \
-         Sys.time, Hashtbl.hash (use sf_prng and injected clocks)";
+        "no ambient randomness: Random., Hashtbl.hash (use the seeded \
+         sf_prng generators and keyed hashing)";
       applies = is_source;
       tokens =
         [
           ("Random.", "ambient Random bypasses the seeded sf_prng generators");
-          ("Unix.gettimeofday", "wall clock breaks reproducibility; inject a clock");
-          ("Sys.time", "process clock breaks reproducibility; inject a clock");
           ("Hashtbl.hash", "polymorphic hashing invites iteration-order dependence");
+        ];
+    };
+    {
+      id = "clock-discipline";
+      doc =
+        "wall/process clocks (Unix.gettimeofday, Sys.time) may be opened \
+         only by lib/obs/clock.ml, the single timing authority; everything \
+         else takes an injected clock (Sf_obs.Clock.wall, Sim.now, ?now)";
+      applies = (fun path -> is_source path && path <> "lib/obs/clock.ml");
+      tokens =
+        [
+          ( "Unix.gettimeofday",
+            "ambient wall clock outside lib/obs — inject a clock" );
+          ("Sys.time", "ambient process clock outside lib/obs — inject a clock");
         ];
     };
     {
