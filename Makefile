@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; CI runs the same three gates.
 
-.PHONY: all build lint test check storm obs bench clean
+.PHONY: all build lint test check storm soak obs bench clean
 
 all: lint build test
 
@@ -31,6 +31,17 @@ storm: build
 	  --scenario "partition@5-20:3;crash@25-32:0-5"
 	dune exec bin/sfg.exe -- storm --seed 37 --rounds 60 --port 48300 \
 	  --scenario "ge:0.25:6"
+
+# Resilience soak (budget: ~1 minute): a chaos scenario — bursty loss, a
+# partition, a crash wave — under the full self-healing policy, first on
+# the audited simulator (estimator accuracy checked against the
+# injector's ground truth) and then on a UDP loopback cluster with
+# crash/rebind.  The RSOAK bench section re-runs the simulator leg and
+# writes BENCH_resil.json, the artifact CI uploads.  Nonzero exit on any
+# failed verdict.
+soak: build
+	dune exec bin/sfg.exe -- soak --port 48400
+	dune exec bench/main.exe -- RSOAK
 
 # Observability smoke: a metrics snapshot and a trace dump from the
 # instrumented simulator, plus the determinism property the tracer

@@ -43,6 +43,9 @@ let experiments =
     ("R1", Exp_robustness.dissemination);
     ("U1", Exp_robustness.udp_crosscheck);
     ("OBS", Exp_obs.run);
+    ("RES1", Exp_resilience.fig_res1);
+    ("RES2", Exp_resilience.fig_res2);
+    ("RSOAK", Exp_resilience.rsoak);
     ("SPEED", Speed.run);
   ]
 

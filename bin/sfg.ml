@@ -50,13 +50,48 @@ let delta_arg =
     & opt float 0.01
     & info [ "delta" ] ~docv:"D" ~doc:"Duplication/deletion probability budget.")
 
-let make_runner ?scenario ?obs ~seed ~n ~view_size ~lower_threshold ~loss () =
+let make_runner ?scenario ?obs ?resilience ~seed ~n ~view_size ~lower_threshold ~loss
+    () =
   let config = Protocol.make_config ~view_size ~lower_threshold in
   let out_degree = min (n - 1) (max lower_threshold ((view_size + lower_threshold) / 2)) in
   let out_degree = if out_degree mod 2 = 0 then out_degree else out_degree - 1 in
   let rng = Sf_prng.Rng.create (seed + 1) in
   let topology = Topology.regular rng ~n ~out_degree in
-  Runner.create ?scenario ?obs ~seed ~n ~loss_rate:loss ~config ~topology ()
+  Runner.create ?scenario ?obs ?resilience ~seed ~n ~loss_rate:loss ~config ~topology ()
+
+(* --- Resilience policy (shared by soak and the --resilience flags) --- *)
+
+let d_hat_arg =
+  Arg.(
+    value
+    & opt int 30
+    & info [ "d-hat" ] ~docv:"D"
+        ~doc:"Target mean outdegree the adaptive controller re-solves for.")
+
+(* The section 6.3 solver, re-solved online for the estimated loss.  The
+   estimate is clamped below [select_lossy]'s 0.5 domain bound: past that
+   the inversion is meaningless and the controller should just hold the
+   most defensive thresholds it already reached. *)
+let resilience_policy ~d_hat ~delta () =
+  let solve ~loss =
+    let t =
+      Sf_analysis.Thresholds.select_lossy ~d_hat ~delta ~loss:(Float.min loss 0.45)
+    in
+    (t.Sf_analysis.Thresholds.lower_threshold, t.Sf_analysis.Thresholds.view_size)
+  in
+  Sf_resil.Policy.make ~solve ()
+
+let print_resilience_statistics r =
+  match Runner.resilience_statistics r with
+  | None -> ()
+  | Some rs ->
+    Fmt.pr
+      "resilience:  loss estimate %.4f (%s, %d windows); %d retunes, %d repair \
+       attempts, %d recoveries@."
+      rs.Runner.loss_estimate
+      (if rs.Runner.estimator_confident then "confident" else "warming up")
+      rs.Runner.estimator_windows rs.Runner.retunes rs.Runner.repair_attempts
+      rs.Runner.recoveries
 
 (* --- Fault scenarios (shared by check and storm) --- *)
 
@@ -107,8 +142,12 @@ let print_system_state r =
 
 (* --- simulate --- *)
 
-let simulate seed n view_size lower_threshold loss rounds timed =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss () in
+let simulate seed n view_size lower_threshold loss rounds timed resilience d_hat delta
+    =
+  let resilience =
+    if resilience then Some (resilience_policy ~d_hat ~delta ()) else None
+  in
+  let r = make_runner ?resilience ~seed ~n ~view_size ~lower_threshold ~loss () in
   if timed then begin
     Runner.start_timed r (Runner.Poisson 1.0);
     Runner.run_until r (float_of_int rounds)
@@ -122,17 +161,26 @@ let simulate seed n view_size lower_threshold loss rounds timed =
   Fmt.pr "rates/send:  duplication %.4f, deletion %.4f, loss %.4f@."
     rates.Runner.duplication rates.Runner.deletion rates.Runner.loss;
   Fmt.pr "Lemma 6.6:   dup - (loss + del) = %+.4f@."
-    (rates.Runner.duplication -. rates.Runner.loss -. rates.Runner.deletion)
+    (rates.Runner.duplication -. rates.Runner.loss -. rates.Runner.deletion);
+  print_resilience_statistics r
 
 let simulate_cmd =
   let timed =
     Arg.(value & flag & info [ "timed" ] ~doc:"Run the timed (event-driven) model.")
   in
+  let resilience =
+    Arg.(
+      value & flag
+      & info [ "resilience" ]
+          ~doc:
+            "Install the self-healing layer: online loss estimation, adaptive \
+             (dL, s) retuning toward --d-hat, supervised recovery.")
+  in
   let doc = "Run an S&F system and report degree, independence and rate statistics." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
-      $ rounds_arg 400 $ timed)
+      $ rounds_arg 400 $ timed $ resilience $ d_hat_arg $ delta_arg)
 
 (* --- degree-mc --- *)
 
@@ -587,6 +635,43 @@ let storm seed n view_size lower_threshold loss rounds scenario udp_nodes base_p
   (match Runner.fault_statistics r with
   | Some fs -> print_fault_statistics fs
   | None -> ());
+  (* Injector verdict: every fault class the scenario declares must leave
+     evidence in the injector counters.  A silent zero means the fault plan
+     never actually engaged — a misconfigured window or a regressed
+     injector — which is a different failure from an invariant violation,
+     so it gets its own exit code (2). *)
+  (match Runner.fault_statistics r with
+  | None ->
+    Fmt.epr "storm: scenario declared but no injector statistics@.";
+    exit 2
+  | Some fs ->
+    let missing = ref [] in
+    let expect what count = if count = 0 then missing := what :: !missing in
+    (match scenario.Sf_faults.Scenario.loss with
+    | Sf_faults.Loss.Gilbert_elliott _ ->
+      expect "bursty loss declared but zero burst drops" fs.Sf_faults.Injector.burst_drops
+    | Sf_faults.Loss.Iid | Sf_faults.Loss.Per_link _ -> ());
+    let declares kind =
+      List.exists
+        (fun w -> Sf_faults.Scenario.fault_kind w.Sf_faults.Scenario.fault = kind)
+        scenario.Sf_faults.Scenario.windows
+    in
+    if declares "partition" then
+      expect "partition declared but zero partition drops"
+        fs.Sf_faults.Injector.partition_drops;
+    if declares "crash" then
+      expect "crash declared but zero crash drops" fs.Sf_faults.Injector.crash_drops;
+    if declares "corrupt" then
+      expect "corruption declared but zero corruptions"
+        fs.Sf_faults.Injector.corruptions;
+    if scenario.Sf_faults.Scenario.windows <> [] then
+      expect "fault windows declared but zero window transitions"
+        fs.Sf_faults.Injector.fault_transitions;
+    match List.rev !missing with
+    | [] -> ()
+    | failures ->
+      List.iter (fun f -> Fmt.epr "storm: injector verdict: %s@." f) failures;
+      exit 2);
   if Properties.is_weakly_connected r then Fmt.pr "connected:   true@."
   else begin
     Fmt.pr "overlay split by the fault plan; invoking rendezvous recovery...@.";
@@ -675,12 +760,180 @@ let storm_cmd =
      delay spikes, datagram corruption) through both the discrete-event simulator \
      — under the strict invariant audit — and the real UDP cluster, then verify \
      connectivity (healing a split overlay via the rendezvous recovery rule) and \
-     view invariants.  Exits nonzero on any violation."
+     view invariants.  Exit status: 0 when everything holds; 1 on an invariant \
+     violation or an unhealable split; 2 when a declared fault class left no \
+     injector evidence (the plan never engaged)."
   in
   Cmd.v (Cmd.info "storm" ~doc)
     Term.(
       const storm $ seed_arg $ n_small $ view_size_arg $ lower_threshold_arg
       $ loss_arg $ rounds_arg 70 $ scenario_arg $ udp_nodes $ base_port $ no_udp)
+
+(* --- soak --- *)
+
+(* Sustained bursty loss well above anything the base thresholds were
+   solved for, plus a partition and a crash wave: the regime the
+   resilience layer exists for.  Rounds are longer than storm's so the
+   estimator folds several full windows before the verdict. *)
+let default_soak_scenario = "ge:0.15:6;partition@60-80:2;crash@110-130:0-5"
+
+let soak seed n view_size lower_threshold d_hat delta loss rounds scenario tolerance
+    udp_nodes base_port no_udp =
+  let scenario =
+    match scenario with
+    | Some sc -> sc
+    | None -> (
+      match Sf_faults.Scenario.of_string default_soak_scenario with
+      | Ok sc -> sc
+      | Error e -> Fmt.failwith "default soak scenario: %s" e)
+  in
+  let policy = resilience_policy ~d_hat ~delta () in
+  Fmt.pr "scenario:    %s@." (Sf_faults.Scenario.to_string scenario);
+  Fmt.pr "-- simulator (resilience on: adaptive retuning + supervised recovery)@.";
+  let r =
+    make_runner ~scenario ~resilience:policy ~seed ~n ~view_size ~lower_threshold
+      ~loss ()
+  in
+  let stats =
+    Sf_check.Invariant.audited_run ~mode:Sf_check.Invariant.Warn r ~rounds
+  in
+  Fmt.pr "audited:     %d actions, %d full scans, %d violations@."
+    stats.Sf_check.Invariant.actions_checked stats.Sf_check.Invariant.full_scans
+    stats.Sf_check.Invariant.violation_count;
+  List.iter
+    (fun v -> Fmt.epr "  %a@." Sf_check.Invariant.pp_violation v)
+    (List.rev stats.Sf_check.Invariant.violations);
+  (match Runner.fault_statistics r with
+  | Some fs -> print_fault_statistics fs
+  | None -> ());
+  print_resilience_statistics r;
+  print_system_state r;
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun m -> failures := m :: !failures) fmt in
+  if stats.Sf_check.Invariant.violation_count > 0 then
+    fail "%d invariant violations under the audit"
+      stats.Sf_check.Invariant.violation_count;
+  if not (Properties.is_weakly_connected r) then begin
+    (* The supervisor had its chance during the run; fall back to the
+       manual rendezvous rule and count an unhealable split as failure. *)
+    match Sf_core.Churn.recover_connectivity r with
+    | Some (recovery_rounds, rebootstraps) ->
+      Fmt.pr "reconnected after %d extra recovery rounds (%d rebootstraps)@."
+        recovery_rounds rebootstraps
+    | None -> fail "overlay split and unhealable"
+  end;
+  (match (Runner.resilience_statistics r, Runner.fault_statistics r) with
+  | Some rs, Some fs ->
+    if not rs.Runner.estimator_confident then
+      fail "loss estimator never folded a full window (%d rounds too short)" rounds
+    else begin
+      (* Ground truth: the injector's own drop fraction over every cause
+         the estimator can see through the Lemma 6.6 balance. *)
+      (* burst_drops is the bursty subset of chance_drops — don't double
+         count it. *)
+      let dropped =
+        fs.Sf_faults.Injector.chance_drops + fs.Sf_faults.Injector.partition_drops
+        + fs.Sf_faults.Injector.crash_drops + fs.Sf_faults.Injector.corruptions
+      in
+      let truth =
+        if fs.Sf_faults.Injector.judged = 0 then 0.
+        else float_of_int dropped /. float_of_int fs.Sf_faults.Injector.judged
+      in
+      let err = Float.abs (rs.Runner.loss_estimate -. truth) in
+      Fmt.pr "estimate:    %.4f vs injector ground truth %.4f (err %.4f)@."
+        rs.Runner.loss_estimate truth err;
+      if err > tolerance then
+        fail "loss estimate %.4f off injector truth %.4f by %.4f > %.2f"
+          rs.Runner.loss_estimate truth err tolerance
+    end
+  | _ -> fail "resilience statistics missing");
+  if not no_udp then begin
+    Fmt.pr "-- UDP cluster (loopback, crash-restart under resilience)@.";
+    let config = Protocol.make_config ~view_size ~lower_threshold in
+    let out_degree =
+      let d = min (udp_nodes - 1) ((view_size + lower_threshold) / 2) in
+      if d mod 2 = 0 then d else d - 1
+    in
+    let topology =
+      Topology.regular (Sf_prng.Rng.create (seed + 1)) ~n:udp_nodes ~out_degree
+    in
+    let period = 0.005 in
+    let c =
+      Sf_net.Cluster.create ~period ~scenario ~resilience:policy ~base_port
+        ~n:udp_nodes ~config ~loss_rate:loss ~seed ~topology ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Sf_net.Cluster.shutdown c)
+      (fun () ->
+        Sf_net.Cluster.run c ~duration:(float_of_int rounds *. period);
+        let cs = Sf_net.Cluster.statistics c in
+        Fmt.pr
+          "datagrams:   %d sent, %d dropped, %d received; %d rejoins, %d retunes@."
+          cs.Sf_net.Cluster.datagrams_sent cs.Sf_net.Cluster.datagrams_dropped
+          cs.Sf_net.Cluster.datagrams_received cs.Sf_net.Cluster.rejoins
+          cs.Sf_net.Cluster.retunes;
+        let declares_crash =
+          List.exists
+            (fun w ->
+              Sf_faults.Scenario.fault_kind w.Sf_faults.Scenario.fault = "crash")
+            scenario.Sf_faults.Scenario.windows
+        in
+        if declares_crash && cs.Sf_net.Cluster.rejoins = 0 then
+          fail "crash windows declared but no cluster rejoins";
+        Seq.iter
+          (fun (id, view) ->
+            (match Sf_check.Invariant.check_view view with
+            | Some v ->
+              fail "cluster node %d: %s" id
+                (Fmt.str "%a" Sf_check.Invariant.pp_violation v)
+            | None -> ());
+            let d = Sf_core.View.degree view in
+            if d < 0 || d > view_size || d mod 2 <> 0 then
+              fail "cluster node %d: outdegree %d violates M1 bounds or parity" id d)
+          (Sf_net.Cluster.views c))
+  end;
+  match List.rev !failures with
+  | [] -> Fmt.pr "soak: OK@."
+  | failures ->
+    List.iter (fun f -> Fmt.epr "soak: %s@." f) failures;
+    exit 1
+
+let soak_cmd =
+  let n_small =
+    Arg.(value & opt int 96 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Simulator nodes.")
+  in
+  let udp_nodes =
+    Arg.(
+      value & opt int 48
+      & info [ "udp-nodes" ] ~docv:"N" ~doc:"Cluster size for the UDP leg.")
+  in
+  let base_port =
+    Arg.(value & opt int 48400 & info [ "port" ] ~docv:"PORT" ~doc:"First UDP port.")
+  in
+  let no_udp =
+    Arg.(value & flag & info [ "no-udp" ] ~doc:"Skip the UDP cluster leg.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.08
+      & info [ "tolerance" ] ~docv:"E"
+          ~doc:"Largest allowed |loss estimate - injector ground truth|.")
+  in
+  let doc =
+    "Resilience soak: run the self-healing layer (online loss estimation, \
+     adaptive (dL, s) retuning, supervised recovery) under a sustained chaos \
+     scenario, through the audited simulator and the real UDP cluster with true \
+     crash-restarts.  The verdict requires zero invariant violations, a \
+     connected (or healed) overlay, a loss estimate within --tolerance of the \
+     injector's ground-truth drop rate, and — when crash windows are declared — \
+     at least one cluster rejoin.  Exit status: 0 when the verdict holds, 1 \
+     otherwise."
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const soak $ seed_arg $ n_small $ view_size_arg $ lower_threshold_arg
+      $ d_hat_arg $ delta_arg $ loss_arg $ rounds_arg 200 $ scenario_arg $ tolerance
+      $ udp_nodes $ base_port $ no_udp)
 
 (* --- sessions --- *)
 
@@ -877,6 +1130,7 @@ let () =
         mixing_cmd;
         check_cmd;
         storm_cmd;
+        soak_cmd;
         udp_cmd;
         sessions_cmd;
         spread_cmd;

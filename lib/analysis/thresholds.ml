@@ -78,6 +78,44 @@ let select ~d_hat ~delta =
 let select_literal ~d_hat ~delta =
   build ~d_hat ~delta ~tail:(fun dist d -> Sf_stats.Pmf.ccdf dist d)
 
+(* Loss-aware variant of the 6.3 rule, used by the adaptive controller
+   (lib/resilience).  The paper derives dL for the no-loss regime and
+   notes (Lemma 6.6) that duplication is the protocol's only counterweight
+   to loss: each lost message silently removes two edges, and only sends
+   issued at or below dL put them back.  To keep E(d) pinned at d_hat
+   under loss, duplication must fire with probability ~ loss + delta
+   rather than delta, i.e. the lower threshold rises until the eq. (6.1)
+   mass at or below it covers the loss rate:
+
+     dL(loss) = max { d' even in [0, d_hat] : Pr(d <= d') <= delta + loss }
+
+   The deletion side is loss-independent (loss only ever removes edges,
+   never overfills a view), so s keeps its event-based reading.  At
+   loss = 0 this coincides with [select] exactly. *)
+let select_lossy ~d_hat ~delta ~loss =
+  validate ~d_hat ~delta;
+  if loss < 0. || loss >= 0.5 then
+    invalid_arg "Thresholds.select_lossy: loss must lie in [0, 0.5)";
+  let dm = 3 * d_hat in
+  let dist = Analytic.outdegree_distribution ~dm in
+  let lower_threshold = lower_threshold_of dist ~d_hat ~delta:(delta +. loss) in
+  let view_size =
+    view_size_of dist ~d_hat ~dm ~delta ~tail:(fun dist d ->
+        Sf_stats.Pmf.ccdf dist (d + 1))
+  in
+  (* dL can climb arbitrarily close to d_hat as loss grows; protocol
+     validity (Protocol.make_config) needs dL <= s - 6. *)
+  let lower_threshold = min lower_threshold (view_size - 6) in
+  {
+    d_hat;
+    delta;
+    dm;
+    lower_threshold;
+    view_size;
+    p_at_or_below_lower = Sf_stats.Pmf.cdf dist lower_threshold;
+    p_above_size = Sf_stats.Pmf.ccdf dist (view_size + 1);
+  }
+
 let to_config t =
   Sf_core.Protocol.make_config ~view_size:t.view_size ~lower_threshold:t.lower_threshold
 

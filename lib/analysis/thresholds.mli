@@ -20,6 +20,15 @@ val select_literal : d_hat:int -> delta:float -> t
 (** Literal symmetric reading (Pr(d >= s) <= delta); gives s = 42 on the
     paper's example. *)
 
+val select_lossy : d_hat:int -> delta:float -> loss:float -> t
+(** Loss-aware 6.3 rule for the adaptive controller (lib/resilience):
+    the duplication budget on the lower side grows to [delta + loss] —
+    duplication is the only counterweight to loss (Lemma 6.6), so dL
+    rises with the loss rate — while the deletion side keeps the
+    event-based reading of {!select}.  [select_lossy ~loss:0.] equals
+    {!select}; the result always satisfies [dL <= s - 6].  Raises
+    [Invalid_argument] unless [0 <= loss < 0.5]. *)
+
 val to_config : t -> Sf_core.Protocol.config
 (** Package as a protocol configuration (validates the s >= 6 / dL <= s-6
     constraints). *)

@@ -75,7 +75,6 @@ let total_edges runner =
 (* Full structural scan: per-view soundness, degree bounds, global serial
    uniqueness, serial/birth bounds. *)
 let scan ?(require_even = true) runner =
-  let config = Runner.config runner in
   let ceiling = Runner.minted_serials runner in
   let now = Runner.action_count runner in
   let seen = Hashtbl.create 4096 in
@@ -84,7 +83,12 @@ let scan ?(require_even = true) runner =
   Array.iter
     (fun node ->
       record (check_view node.Protocol.view);
-      record (check_degree ~require_even ~config node);
+      (* Per-node config: the resilience controller may have retuned this
+         node's thresholds away from the base config. *)
+      record
+        (check_degree ~require_even
+           ~config:(Runner.node_config runner node.Protocol.node_id)
+           node);
       View.iter
         (fun _ (e : View.entry) ->
           (match Hashtbl.find_opt seen e.View.serial with
@@ -161,7 +165,10 @@ let expected_delta = function
 
 let on_action a runner ~initiator ~degree_before ~degree_after ~outcome =
   a.stats.actions_checked <- a.stats.actions_checked + 1;
-  let config = Runner.config runner in
+  (* The initiator's *current* config: adaptive retuning makes s and dL
+     per-node quantities, and the dL rule must be judged against the
+     thresholds the node actually ran with. *)
+  let config = Runner.node_config runner initiator in
   let s = config.Protocol.view_size in
   let dl = config.Protocol.lower_threshold in
   (* A frozen node must not act: the runner's scheduler is required to skip
@@ -249,7 +256,10 @@ let on_event a runner event =
     (match Runner.find_node runner receiver with
     | None -> ()
     | Some node -> (
-      match check_degree ~require_even:a.require_even ~config:(Runner.config runner) node with
+      match
+        check_degree ~require_even:a.require_even
+          ~config:(Runner.node_config runner receiver) node
+      with
       | Some v -> report a v
       | None -> ()))
   | Runner.Structural reason ->

@@ -85,7 +85,11 @@ type initiate_result =
    creation times. *)
 let initiate config rng ~fresh_serial ~clock node =
   node.initiated_actions <- node.initiated_actions + 1;
-  let i, j = Sf_prng.Rng.distinct_pair rng config.view_size in
+  (* Slot selection ranges over the *allocated* view, not the configured
+     view size: the two coincide at creation, but adaptive retuning
+     (lib/resilience) can lower a node's effective s below its allocated
+     capacity, and entries parked in high slots must stay reachable. *)
+  let i, j = Sf_prng.Rng.distinct_pair rng (View.size node.view) in
   match (View.get node.view i, View.get node.view j) with
   | None, _ | _, None ->
     node.self_loop_actions <- node.self_loop_actions + 1;

@@ -48,8 +48,36 @@ type audit_event =
   | Structural of string
       (** join/leave/reconnect/rebootstrap: edge totals changed out of band *)
 
+(* --- Resilience state (lib/resilience) ---
+
+   Installed by passing [?resilience] to [create]; absent, every code
+   path below matches [None] once and the runner is bit-for-bit the
+   pre-resilience runner.  The estimator feeds on world-counter deltas
+   once per round, the controller retunes per-node (dL, s) against the
+   estimated loss, and the supervisor drives section 5 repairs under
+   backoff — see [resil_tick] at the bottom of this file. *)
+type resil = {
+  policy : Sf_resil.Policy.t;
+  estimator : Sf_resil.Estimator.t;
+  controller : Sf_resil.Controller.t;
+  supervisor : Sf_resil.Supervisor.t;
+  (* Per-node retuned configs; nodes absent here run the base config. *)
+  node_configs : (int, Protocol.config) Hashtbl.t;
+  mutable last_sends : int;         (* counter baselines for estimator deltas *)
+  mutable last_duplications : int;
+  mutable last_deletions : int;
+  mutable ticks : int;              (* resilience decision ticks (rounds) *)
+  g_estimate : Sf_obs.Metrics.gauge;
+  g_true : Sf_obs.Metrics.gauge;
+  c_retunes : Sf_obs.Metrics.counter;
+  c_repair_attempts : Sf_obs.Metrics.counter;
+  c_recoveries : Sf_obs.Metrics.counter;
+  h_backoff : Sf_obs.Metrics.histogram;
+}
+
 type t = {
   config : Protocol.config;
+  resilience : resil option;
   scheduler_rng : Sf_prng.Rng.t;  (* picks initiators and timing *)
   protocol_rng : Sf_prng.Rng.t;   (* slot selections inside nodes *)
   sim : Sf_engine.Sim.t;
@@ -90,6 +118,17 @@ let emit t event = match t.audit with Some f -> f t event | None -> ()
 
 let obs t = t.obs
 
+(* The config a node currently runs: the base config until the adaptive
+   controller has retuned the node.  Without resilience this is one match
+   on [None] — no table, no cost. *)
+let node_config t id =
+  match t.resilience with
+  | None -> t.config
+  | Some r -> (
+    match Hashtbl.find_opt r.node_configs id with
+    | Some config -> config
+    | None -> t.config)
+
 (* The injected trace clock: the sequential round clock (actions per
    initial node) before [start_timed], virtual time after — matching the
    fault injector's clock, and never an ambient wall clock. *)
@@ -129,7 +168,10 @@ let fresh_serial t () =
 
 let handler t node message =
   Sf_obs.Metrics.incr t.total_receipts;
-  let result = Protocol.receive t.config t.protocol_rng node message in
+  let result =
+    Protocol.receive (node_config t node.Protocol.node_id) t.protocol_rng node
+      message
+  in
   t.last_receive <- Some result;
   (match result with
   | Protocol.Accepted -> ()
@@ -153,11 +195,15 @@ let install_node t node =
   Sf_obs.Metrics.set t.live_gauge (float_of_int (Hashtbl.length t.nodes))
 
 let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?audit
-    ?scenario ?obs ~seed ~n ~loss_rate ~config ~topology () =
+    ?scenario ?obs ?resilience ~seed ~n ~loss_rate ~config ~topology () =
   let root = Sf_prng.Rng.create seed in
   let scheduler_rng = Sf_prng.Rng.split root in
   let protocol_rng = Sf_prng.Rng.split root in
   let network_rng = Sf_prng.Rng.split root in
+  (* Split last, and only when the layer is enabled: the three streams
+     above are byte-identical with and without resilience, which is what
+     keeps the observe-only identity test honest. *)
+  let resil_rng = Option.map (fun _ -> Sf_prng.Rng.split root) resilience in
   let sim = Sf_engine.Sim.create () in
   let obs = match obs with Some o -> o | None -> Sf_obs.Obs.create () in
   let metrics = Sf_obs.Obs.metrics obs in
@@ -168,11 +214,41 @@ let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?aud
   in
   let network =
     Sf_engine.Network.create ~latency ?destination_loss ?injector ~obs ~sim
-      ~rng:network_rng ~loss_rate ()
+      ~resilience:(Option.is_some resilience) ~rng:network_rng ~loss_rate ()
+  in
+  let resilience =
+    match (resilience, resil_rng) with
+    | Some policy, Some rng ->
+      Some
+        {
+          policy;
+          estimator = Sf_resil.Policy.estimator policy;
+          controller =
+            Sf_resil.Policy.controller policy
+              ~initial:(config.Protocol.lower_threshold, config.Protocol.view_size)
+              ~capacity:config.Protocol.view_size;
+          supervisor = Sf_resil.Policy.supervisor policy ~rng;
+          node_configs = Hashtbl.create (2 * n);
+          last_sends = 0;
+          last_duplications = 0;
+          last_deletions = 0;
+          ticks = 0;
+          (* Registered eagerly so exports show the resilience series from
+             round zero, not from the first decision. *)
+          g_estimate = Sf_obs.Metrics.gauge metrics "resil_loss_estimate";
+          g_true = Sf_obs.Metrics.gauge metrics "resil_loss_true";
+          c_retunes = Sf_obs.Metrics.counter metrics "resil_retunes_total";
+          c_repair_attempts =
+            Sf_obs.Metrics.counter metrics "resil_repair_attempts_total";
+          c_recoveries = Sf_obs.Metrics.counter metrics "resil_recoveries_total";
+          h_backoff = Sf_obs.Metrics.histogram metrics "resil_backoff_rounds";
+        }
+    | _ -> None
   in
   let t =
     {
       config;
+      resilience;
       scheduler_rng;
       protocol_rng;
       sim;
@@ -258,8 +334,9 @@ let random_live_node t =
 let initiate_at t ~synchronous node =
   let degree_before = Protocol.degree node in
   let result =
-    Protocol.initiate t.config t.protocol_rng ~fresh_serial:(fresh_serial t)
-      ~clock:t.actions node
+    Protocol.initiate
+      (node_config t node.Protocol.node_id)
+      t.protocol_rng ~fresh_serial:(fresh_serial t) ~clock:t.actions node
   in
   let outcome =
     match result with
@@ -355,12 +432,9 @@ let run_actions t k =
     step t
   done
 
-(* A round = as many actions as live nodes (each node initiates once in
-   expectation), the paper's round definition in section 6.5. *)
-let run_rounds t rounds =
-  for _ = 1 to rounds do
-    run_actions t (live_count t)
-  done
+(* [run_rounds] is defined at the bottom of this file: it interleaves
+   rounds with the resilience tick, which needs the connectivity probes
+   below. *)
 
 (* --- Timed mode --- *)
 
@@ -650,3 +724,158 @@ let rates_since t (baseline : world_counters) =
       deletion = f (now.deletions - baseline.deletions);
       loss = f (now.messages_lost - baseline.messages_lost);
     }
+
+(* --- Resilience decision loop (lib/resilience) ---
+
+   One tick per round, after the round's actions: feed the estimator from
+   world-counter deltas, let the controller retune per-node thresholds
+   against the estimated loss, and let the supervisor drive section 5
+   repairs under backoff.  Everything here is skipped in one [None] match
+   when the layer is disabled. *)
+
+(* Clamp a controller target (dL, s) to one node's situation: s cannot
+   drop below the node's current outdegree (entries are never evicted by
+   retuning — the receive rule stops accepting until decay catches up)
+   nor rise above the allocated view, and dL must stay a valid even value
+   in [0, s - 6]. *)
+let clamped_config ~capacity ~degree (dl, s) =
+  let even_up x = if x land 1 = 0 then x else x + 1 in
+  let s = min capacity (max s (max 6 (even_up degree))) in
+  let dl = max 0 (min dl (s - 6)) in
+  let dl = if dl land 1 = 0 then dl else dl - 1 in
+  Protocol.make_config ~view_size:s ~lower_threshold:dl
+
+let apply_retune t r pair =
+  Array.iter
+    (fun node ->
+      let cfg =
+        clamped_config
+          ~capacity:(View.size node.Protocol.view)
+          ~degree:(Protocol.degree node) pair
+      in
+      Hashtbl.replace r.node_configs node.Protocol.node_id cfg)
+    (live_nodes t);
+  Sf_obs.Metrics.incr r.c_retunes;
+  trace t (Sf_obs.Trace.Mark { label = "retune" });
+  (* Structural: the auditor must resync its per-node thresholds. *)
+  emit t (Structural "retune")
+
+(* One supervised repair pass.  The health probe is the simulator's
+   privileged view (isolation and weak connectivity are directly visible);
+   a repair attempt applies the section 5 joining rule to every isolated
+   node and re-bootstraps one member of each minority component, then
+   probes again — success resets the backoff, failure widens it. *)
+let supervise t r =
+  let now = float_of_int r.ticks in
+  if Sf_resil.Supervisor.due r.supervisor ~now then begin
+    let split () =
+      live_count t > 1
+      && not (Sf_graph.Digraph.is_weakly_connected (membership_graph t))
+    in
+    let isolated = isolated_nodes t in
+    if isolated = [] && not (split ()) then
+      Sf_resil.Supervisor.record_healthy r.supervisor
+    else begin
+      List.iter
+        (fun node ->
+          match reconnect t ~node_id:node.Protocol.node_id with
+          | Reconnected _ -> ()
+          | Exhausted _ ->
+            ignore (rebootstrap t ~node_id:node.Protocol.node_id))
+        isolated;
+      if split () then begin
+        let components =
+          Sf_graph.Digraph.weakly_connected_components (membership_graph t)
+          |> List.sort (fun a b ->
+                 compare (List.length b) (List.length a))
+        in
+        match components with
+        | [] | [ _ ] -> ()
+        | _largest :: minorities ->
+          List.iter
+            (fun component ->
+              match
+                List.find_opt (fun id -> Hashtbl.mem t.nodes id) component
+              with
+              | None -> ()
+              | Some id -> ignore (rebootstrap t ~node_id:id))
+            minorities
+      end;
+      Sf_obs.Metrics.incr r.c_repair_attempts;
+      let delay = Sf_resil.Supervisor.record_attempt r.supervisor ~now in
+      Sf_obs.Metrics.observe r.h_backoff delay;
+      trace t (Sf_obs.Trace.Mark { label = "repair" });
+      (* Reconnect/rebootstrap act synchronously, so re-probing now tells
+         whether the attempt healed the graph. *)
+      if isolated_nodes t = [] && not (split ()) then begin
+        Sf_resil.Supervisor.record_success r.supervisor;
+        Sf_obs.Metrics.incr r.c_recoveries
+      end
+    end
+  end
+
+let resil_tick t =
+  match t.resilience with
+  | None -> ()
+  | Some r ->
+    r.ticks <- r.ticks + 1;
+    let sends = Sf_obs.Metrics.count t.total_sends in
+    let duplications = Sf_obs.Metrics.count t.total_duplications in
+    let deletions = Sf_obs.Metrics.count t.total_deletions in
+    Sf_resil.Estimator.observe r.estimator ~sends:(sends - r.last_sends)
+      ~duplications:(duplications - r.last_duplications)
+      ~deletions:(deletions - r.last_deletions);
+    r.last_sends <- sends;
+    r.last_duplications <- duplications;
+    r.last_deletions <- deletions;
+    Sf_obs.Metrics.set r.g_estimate (Sf_resil.Estimator.estimate r.estimator);
+    (* Ground truth from the transport's windowed counters, for dashboards
+       and estimator cross-checks; under non-stationary loss the window
+       tracks the current regime where a cumulative rate would lag. *)
+    (match Sf_engine.Network.loss_window t.network with
+    | Some (sent, lost) when sent > 0 ->
+      Sf_obs.Metrics.set r.g_true (float_of_int lost /. float_of_int sent)
+    | _ -> ());
+    if r.policy.Sf_resil.Policy.retune && Sf_resil.Estimator.confident r.estimator
+    then begin
+      match
+        Sf_resil.Controller.decide r.controller
+          ~loss:(Sf_resil.Estimator.estimate r.estimator)
+      with
+      | None -> ()
+      | Some pair -> apply_retune t r pair
+    end;
+    if r.policy.Sf_resil.Policy.recover then supervise t r
+
+(* A round = as many actions as live nodes (each node initiates once in
+   expectation), the paper's round definition in section 6.5.  The
+   resilience tick runs between rounds (a no-op when the layer is off);
+   timed mode has no rounds, so resilience decisions are
+   sequential-mode-only — documented in the interface. *)
+let run_rounds t rounds =
+  for _ = 1 to rounds do
+    run_actions t (live_count t);
+    resil_tick t
+  done
+
+type resilience_stats = {
+  loss_estimate : float;
+  estimator_confident : bool;
+  estimator_windows : int;
+  retunes : int;
+  repair_attempts : int;
+  recoveries : int;
+}
+
+let resilience_statistics t =
+  Option.map
+    (fun r ->
+      {
+        loss_estimate = Sf_resil.Estimator.estimate r.estimator;
+        estimator_confident = Sf_resil.Estimator.confident r.estimator;
+        estimator_windows = Sf_resil.Estimator.windows r.estimator;
+        retunes = Sf_obs.Metrics.count r.c_retunes;
+        repair_attempts = Sf_resil.Supervisor.attempts r.supervisor;
+        recoveries = Sf_resil.Supervisor.recoveries r.supervisor;
+      })
+    t.resilience

@@ -51,6 +51,7 @@ val create :
   ?audit:(t -> audit_event -> unit) ->
   ?scenario:Sf_faults.Scenario.t ->
   ?obs:Sf_obs.Obs.t ->
+  ?resilience:Sf_resil.Policy.t ->
   seed:int ->
   n:int ->
   loss_rate:float ->
@@ -77,13 +78,30 @@ val create :
     are recorded, stamped with the injected round clock (sequential mode)
     or virtual time (timed mode).  A private bundle is used when omitted.
     Observation consumes no randomness: instrumented runs replay
-    byte-identically. *)
+    byte-identically.
+
+    [resilience] installs the self-healing layer (lib/resilience): once
+    per round — sequential mode only; timed mode has no rounds — the
+    runner feeds a loss {!Sf_resil.Estimator} from world-counter deltas,
+    lets the {!Sf_resil.Controller} retune per-node (dL, s) against the
+    estimate (see {!node_config}), and lets the {!Sf_resil.Supervisor}
+    drive section 5 repairs (reconnect/rebootstrap) under capped jittered
+    backoff.  Decisions surface as [resil_*] metrics, [retune]/[repair]
+    trace marks, and [Structural] audit events.  The resilience RNG is
+    split from the root seed after every other stream, so omitting the
+    option — or passing {!Sf_resil.Policy.observe_only} — replays the
+    unadorned runner byte-for-byte. *)
 
 val obs : t -> Sf_obs.Obs.t
 (** The runner's observability bundle (the one passed to {!create}, or
     the private default). *)
 
 val config : t -> Protocol.config
+(** The base configuration every node starts from. *)
+
+val node_config : t -> int -> Protocol.config
+(** The configuration a node currently runs: the base config unless the
+    resilience controller has retuned the node. *)
 
 val action_count : t -> int
 (** Initiate steps executed so far. *)
@@ -115,7 +133,10 @@ val step : t -> unit
 val run_actions : t -> int -> unit
 
 val run_rounds : t -> int -> unit
-(** One round = [live_count t] actions (paper, section 6.5). *)
+(** One round = [live_count t] actions (paper, section 6.5).  When a
+    resilience policy is installed, each round is followed by one
+    resilience tick (estimator feed, possible retune, possible supervised
+    repair). *)
 
 val start_timed : t -> scheduling -> unit
 (** Switch to timed mode: every live node initiates on its own clock. *)
@@ -188,3 +209,17 @@ type rates = { duplication : float; deletion : float; loss : float }
 val rates_since : t -> world_counters -> rates
 (** Per-send duplication/deletion/loss rates since a counter baseline — the
     quantities balanced by Lemma 6.6. *)
+
+(** {2 Resilience} *)
+
+type resilience_stats = {
+  loss_estimate : float;       (** current smoothed Lemma 6.6 inversion *)
+  estimator_confident : bool;  (** at least one full window folded *)
+  estimator_windows : int;
+  retunes : int;               (** controller decisions applied *)
+  repair_attempts : int;       (** supervised repair passes charged *)
+  recoveries : int;            (** attempts confirmed by a healthy probe *)
+}
+
+val resilience_statistics : t -> resilience_stats option
+(** [None] unless a resilience policy was installed at {!create}. *)

@@ -22,10 +22,30 @@
    state, no retransmission, the sender never learns whether the message
    arrived. *)
 
+(* Per-node resilience state (lib/resilience): each node runs its own loss
+   estimator over its own protocol counters — a deployed node has nobody
+   else's — and its own threshold controller. *)
+type node_resil = {
+  estimator : Sf_resil.Estimator.t;
+  controller : Sf_resil.Controller.t;
+  mutable last_sent : int;  (* counter baselines for estimator deltas *)
+  mutable last_duplications : int;
+  mutable last_deletions : int;
+}
+
 type node_state = {
   node : Sf_core.Protocol.node;
-  socket : Unix.file_descr;
+  (* Mutable: a crash-restart closes the socket for the duration of the
+     window and rebinds a fresh one on the same port at resume. *)
+  mutable socket : Unix.file_descr;
   mutable next_fire : float;
+  (* The node's current thresholds; starts at the cluster config and
+     diverges under adaptive retuning. *)
+  mutable config : Sf_core.Protocol.config;
+  resil : node_resil option;
+  (* Crash-restart bookkeeping (resilience mode only). *)
+  mutable down : bool;       (* socket closed by an active crash window *)
+  mutable snapshot : int list;  (* bounded view snapshot taken at crash *)
 }
 
 (* A datagram held back by an active delay window: release time, sending
@@ -38,7 +58,6 @@ type delayed_datagram = {
 }
 
 type t = {
-  config : Sf_core.Protocol.config;
   base_port : int;
   period : float;
   loss_rate : float;
@@ -50,7 +69,11 @@ type t = {
                        since then, matching the injector's round clock *)
   rng : Sf_prng.Rng.t;
   injector : Sf_faults.Injector.t option;
+  resilience : Sf_resil.Policy.t option;
   nodes : node_state array;
+  (* Bumped whenever a socket is closed or rebound, so the run loop knows
+     to rebuild its select set. *)
+  mutable socket_generation : int;
   read_buffer : bytes;
   obs : Sf_obs.Obs.t;
   (* Registry counters (one O(1) increment each, the same cost as the
@@ -65,6 +88,8 @@ type t = {
   c_truncated : Sf_obs.Metrics.counter;
   c_decode_errors : Sf_obs.Metrics.counter;
   c_send_errors : Sf_obs.Metrics.counter;
+  c_rejoins : Sf_obs.Metrics.counter;  (* crash-restart rejoin recoveries *)
+  c_retunes : Sf_obs.Metrics.counter;  (* per-node threshold retunes *)
   (* Codec profiling, timed with the injected clock. *)
   encode_span : Sf_obs.Span.t;
   decode_span : Sf_obs.Span.t;
@@ -81,8 +106,8 @@ let fresh_serial t =
   t.next_serial <- s + 1;
   s
 
-let create ?(period = 0.01) ?(now = Sf_obs.Clock.wall) ?scenario ?obs ~base_port
-    ~n ~config ~loss_rate ~seed ~topology () =
+let create ?(period = 0.01) ?(now = Sf_obs.Clock.wall) ?scenario ?obs ?resilience
+    ~base_port ~n ~config ~loss_rate ~seed ~topology () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one node";
   if base_port < 1024 || base_port + n > 65_535 then
     invalid_arg "Cluster.create: port range out of bounds";
@@ -97,7 +122,6 @@ let create ?(period = 0.01) ?(now = Sf_obs.Clock.wall) ?scenario ?obs ~base_port
   let start = now () in
   let t =
     {
-      config;
       base_port;
       period;
       loss_rate;
@@ -105,7 +129,9 @@ let create ?(period = 0.01) ?(now = Sf_obs.Clock.wall) ?scenario ?obs ~base_port
       started = start;
       rng;
       injector;
+      resilience;
       nodes = [||];
+      socket_generation = 0;
       read_buffer = Bytes.create Codec.recv_buffer_size;
       obs;
       c_sent = Sf_obs.Metrics.counter metrics "cluster_datagrams_sent";
@@ -119,6 +145,8 @@ let create ?(period = 0.01) ?(now = Sf_obs.Clock.wall) ?scenario ?obs ~base_port
       c_truncated = Sf_obs.Metrics.counter metrics "cluster_datagrams_truncated";
       c_decode_errors = Sf_obs.Metrics.counter metrics "cluster_decode_errors";
       c_send_errors = Sf_obs.Metrics.counter metrics "cluster_send_errors";
+      c_rejoins = Sf_obs.Metrics.counter metrics "cluster_rejoins";
+      c_retunes = Sf_obs.Metrics.counter metrics "cluster_retunes";
       encode_span = Sf_obs.Span.create ~clock:now metrics "codec_encode_seconds";
       decode_span = Sf_obs.Span.create ~clock:now metrics "codec_decode_seconds";
       delayed = [];
@@ -154,6 +182,25 @@ let create ?(period = 0.01) ?(now = Sf_obs.Clock.wall) ?scenario ?obs ~base_port
       socket;
       (* Stagger first firings across one period. *)
       next_fire = start +. (period *. Sf_prng.Rng.float rng);
+      config;
+      resil =
+        Option.map
+          (fun policy ->
+            {
+              estimator = Sf_resil.Policy.estimator policy;
+              controller =
+                Sf_resil.Policy.controller policy
+                  ~initial:
+                    ( config.Sf_core.Protocol.lower_threshold,
+                      config.Sf_core.Protocol.view_size )
+                  ~capacity:config.Sf_core.Protocol.view_size;
+              last_sent = 0;
+              last_duplications = 0;
+              last_deletions = 0;
+            })
+          resilience;
+      down = false;
+      snapshot = [];
     }
   in
   match Array.init n make_node with
@@ -183,9 +230,61 @@ let trace t event =
   if Sf_obs.Obs.tracing t.obs then
     Sf_obs.Obs.trace t.obs ~now:((t.now () -. t.started) /. t.period) event
 
-let transmit t ~via ~packet ~target =
-  try ignore (Unix.sendto via packet 0 (Bytes.length packet) [] target)
-  with Unix.Unix_error _ -> Sf_obs.Metrics.incr t.c_send_errors
+(* A signal landing mid-sendto must not cost the datagram: retry on EINTR
+   (the kernel sent nothing), count everything else as a send error —
+   including ECONNREFUSED, which on loopback means a previous datagram
+   bounced off a closed (crashed) port. *)
+let rec transmit t ~via ~packet ~target =
+  try ignore (Unix.sendto via packet 0 (Bytes.length packet) [] target) with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> transmit t ~via ~packet ~target
+  | Unix.Unix_error _ -> Sf_obs.Metrics.incr t.c_send_errors
+
+(* Clamp a controller target (dL, s) to this node: s never drops below the
+   current outdegree (nothing is evicted; the receive rule stops accepting
+   until decay catches up) nor rises above the allocated view, and dL must
+   stay a valid even value in [0, s - 6]. *)
+let clamped_config ~capacity ~degree (dl, s) =
+  let even_up x = if x land 1 = 0 then x else x + 1 in
+  let s = min capacity (max s (max 6 (even_up degree))) in
+  let dl = max 0 (min dl (s - 6)) in
+  let dl = if dl land 1 = 0 then dl else dl - 1 in
+  Sf_core.Protocol.make_config ~view_size:s ~lower_threshold:dl
+
+(* Per-node resilience tick, run after each initiation: feed the node's
+   estimator from its own counters, and let its controller walk (dL, s)
+   toward the section 6.3 solution for the estimated loss.  The
+   controller's cooldown is counted in these ticks, i.e. in firings. *)
+let resil_tick t (ns : node_state) =
+  match ns.resil with
+  | None -> ()
+  | Some nr ->
+    let node = ns.node in
+    let sent = node.Sf_core.Protocol.messages_sent in
+    let dups = node.Sf_core.Protocol.duplications in
+    let dels = node.Sf_core.Protocol.deletions in
+    Sf_resil.Estimator.observe nr.estimator ~sends:(sent - nr.last_sent)
+      ~duplications:(dups - nr.last_duplications)
+      ~deletions:(dels - nr.last_deletions);
+    nr.last_sent <- sent;
+    nr.last_duplications <- dups;
+    nr.last_deletions <- dels;
+    match t.resilience with
+    | Some policy
+      when policy.Sf_resil.Policy.retune
+           && Sf_resil.Estimator.confident nr.estimator -> (
+      match
+        Sf_resil.Controller.decide nr.controller
+          ~loss:(Sf_resil.Estimator.estimate nr.estimator)
+      with
+      | None -> ()
+      | Some pair ->
+        ns.config <-
+          clamped_config
+            ~capacity:(Sf_core.View.size node.Sf_core.Protocol.view)
+            ~degree:(Sf_core.Protocol.degree node) pair;
+        Sf_obs.Metrics.incr t.c_retunes;
+        trace t (Sf_obs.Trace.Mark { label = "retune" }))
+    | _ -> ()
 
 (* One initiate step at [ns]; the message goes out as a datagram unless the
    loss draw — or an active fault window — eats it. *)
@@ -193,7 +292,7 @@ let fire t ns =
   t.actions <- t.actions + 1;
   trace t (Sf_obs.Trace.Timer { node = ns.node.Sf_core.Protocol.node_id });
   match
-    Sf_core.Protocol.initiate t.config t.rng ~fresh_serial:(fun () -> fresh_serial t)
+    Sf_core.Protocol.initiate ns.config t.rng ~fresh_serial:(fun () -> fresh_serial t)
       ~clock:t.actions ns.node
   with
   | Sf_core.Protocol.Self_loop -> ()
@@ -272,6 +371,11 @@ let drain t ns =
     | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
       continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      (* Linux loopback: a pending ICMP port-unreachable (our earlier
+         datagram to a crashed node's closed port) can surface here; it
+         carries no datagram, so keep draining. *)
+      ()
     | length, _from ->
       let dst = ns.node.Sf_core.Protocol.node_id in
       if is_crashed t dst then begin
@@ -291,7 +395,7 @@ let drain t ns =
           with
           | Ok message ->
             trace t (Sf_obs.Trace.Deliver { dst; accepted = true });
-            ignore (Sf_core.Protocol.receive t.config t.rng ns.node message)
+            ignore (Sf_core.Protocol.receive ns.config t.rng ns.node message)
           | Error (Codec.Too_short _) ->
             Sf_obs.Metrics.incr t.c_truncated;
             trace t (Sf_obs.Trace.Deliver { dst; accepted = false })
@@ -301,12 +405,103 @@ let drain t ns =
       end
   done
 
+(* --- Crash-restart with state recovery (resilience mode only) ---
+
+   Without resilience a crash window only freezes the node (timers skip,
+   arrivals are discarded) — the socket stays bound and the view survives,
+   which models a paused process.  With resilience the crash is real:
+   entering the window saves a bounded snapshot of the view (up to dL ids,
+   the same bound the section 5 joining rule donates) and closes the
+   socket, so in-flight datagrams bounce off a dead port; leaving it
+   rebinds a fresh socket on the same port and rejoins by reinstalling the
+   snapshot as fresh instances — falling back to copying a live
+   neighbour's view (the paper's "copy another node's view" rule) when the
+   snapshot is empty. *)
+
+let rec take k = function
+  | [] -> []
+  | _ when k <= 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let crash_down t (ns : node_state) =
+  let keep = max 2 ns.config.Sf_core.Protocol.lower_threshold in
+  ns.snapshot <- take keep (Sf_core.View.ids ns.node.Sf_core.Protocol.view);
+  (try Unix.close ns.socket with Unix.Unix_error _ -> ());
+  ns.down <- true;
+  t.socket_generation <- t.socket_generation + 1;
+  trace t (Sf_obs.Trace.Mark { label = "crash_down" })
+
+let rejoin t (ns : node_state) =
+  let node_id = ns.node.Sf_core.Protocol.node_id in
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.set_nonblock socket;
+  Unix.setsockopt socket Unix.SO_REUSEADDR true;
+  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, t.base_port + node_id));
+  ns.socket <- socket;
+  (* Ids to rejoin with: the crash snapshot, else a live neighbour's view. *)
+  let donor_ids () =
+    let n = Array.length t.nodes in
+    let rec pick tries =
+      if tries = 0 then []
+      else
+        let candidate = t.nodes.(Sf_prng.Rng.int t.rng n) in
+        if candidate.node.Sf_core.Protocol.node_id <> node_id && not candidate.down
+        then
+          candidate.node.Sf_core.Protocol.node_id
+          :: List.filter
+               (fun id -> id <> node_id)
+               (Sf_core.View.ids candidate.node.Sf_core.Protocol.view)
+        else pick (tries - 1)
+    in
+    pick 8
+  in
+  let ids = match ns.snapshot with [] -> donor_ids () | ids -> ids in
+  let view = ns.node.Sf_core.Protocol.view in
+  Sf_core.View.clear_all view;
+  let keep = max 2 ns.config.Sf_core.Protocol.lower_threshold in
+  let ids = take (min keep (Sf_core.View.size view)) ids in
+  (* Even outdegree on rejoin (Observation 5.1): keep the even prefix. *)
+  let ids = take (List.length ids land lnot 1) ids in
+  List.iteri
+    (fun slot id ->
+      Sf_core.View.set view slot
+        { Sf_core.View.id; serial = fresh_serial t; anchor = None; born = t.actions })
+    ids;
+  ns.down <- false;
+  ns.snapshot <- [];
+  t.socket_generation <- t.socket_generation + 1;
+  Sf_obs.Metrics.incr t.c_rejoins;
+  trace t (Sf_obs.Trace.Mark { label = "rejoin" })
+
+let sync_crash_states t =
+  if Option.is_some t.resilience then
+    Array.iter
+      (fun ns ->
+        let crashed = is_crashed t ns.node.Sf_core.Protocol.node_id in
+        if crashed && not ns.down then crash_down t ns
+        else if (not crashed) && ns.down then rejoin t ns)
+      t.nodes
+
 (* Run the cluster for [duration] wall-clock seconds. *)
 let run t ~duration =
   let deadline = t.now () +. duration in
-  let sockets = Array.to_list (Array.map (fun ns -> ns.socket) t.nodes) in
-  let by_socket = Hashtbl.create (Array.length t.nodes) in
-  Array.iter (fun ns -> Hashtbl.replace by_socket ns.socket ns) t.nodes;
+  (* The select set excludes crashed (closed) sockets and is rebuilt
+     whenever a crash-restart closes or rebinds one. *)
+  let select_set () =
+    let by_socket = Hashtbl.create (Array.length t.nodes) in
+    let sockets =
+      Array.to_list t.nodes
+      |> List.filter_map (fun ns ->
+             if ns.down then None
+             else begin
+               Hashtbl.replace by_socket ns.socket ns;
+               Some ns.socket
+             end)
+    in
+    (sockets, by_socket)
+  in
+  let generation = ref t.socket_generation in
+  let index = ref (select_set ()) in
   let rec loop () =
     let now = t.now () in
     if now >= deadline then ()
@@ -314,14 +509,23 @@ let run t ~duration =
       (match t.injector with
       | None -> ()
       | Some injector -> Sf_faults.Injector.refresh injector);
+      sync_crash_states t;
+      if t.socket_generation <> !generation then begin
+        generation := t.socket_generation;
+        index := select_set ()
+      end;
       flush_delayed t ~now;
       (* Fire all due timers, rescheduling with jitter.  A crashed node
          skips its initiation but keeps its timer running, so it resumes —
-         with its stale view — when the window closes. *)
+         restored from its snapshot (resilience) or with its stale view —
+         when the window closes. *)
       Array.iter
         (fun ns ->
           if ns.next_fire <= now then begin
-            if not (is_crashed t ns.node.Sf_core.Protocol.node_id) then fire t ns;
+            if not (is_crashed t ns.node.Sf_core.Protocol.node_id) then begin
+              fire t ns;
+              resil_tick t ns
+            end;
             ns.next_fire <-
               now +. (t.period *. (0.9 +. (0.2 *. Sf_prng.Rng.float t.rng)))
           end)
@@ -334,8 +538,13 @@ let run t ~duration =
       in
       let next_event = Float.min next_timer next_release in
       let timeout = Float.max 0. (Float.min (next_event -. now) (deadline -. now)) in
+      let sockets, by_socket = !index in
+      (* EINTR: a signal (SIGALRM, SIGCHLD, a profiler tick) interrupting
+         the wait is routine, not an error; EAGAIN is how some kernels
+         report a transient resource squeeze on select.  Both mean "try
+         again" — the deadline check at the loop head bounds the retry. *)
       match Unix.select sockets [] [] timeout with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> loop ()
       | readable, _, _ ->
         List.iter
           (fun socket ->
@@ -391,6 +600,8 @@ type statistics = {
   datagrams_truncated : int;
   decode_errors : int;
   send_errors : int;
+  rejoins : int;
+  retunes : int;
 }
 
 let statistics (t : t) =
@@ -407,6 +618,8 @@ let statistics (t : t) =
     datagrams_truncated = count t.c_truncated;
     decode_errors = count t.c_decode_errors;
     send_errors = count t.c_send_errors;
+    rejoins = count t.c_rejoins;
+    retunes = count t.c_retunes;
   }
 
 let obs t = t.obs

@@ -12,6 +12,7 @@ val create :
   ?now:(unit -> float) ->
   ?scenario:Sf_faults.Scenario.t ->
   ?obs:Sf_obs.Obs.t ->
+  ?resilience:Sf_resil.Policy.t ->
   base_port:int ->
   n:int ->
   config:Sf_core.Protocol.config ->
@@ -41,6 +42,19 @@ val create :
     [period] elapsed.  Omitting the scenario — or passing
     {!Sf_faults.Scenario.default} — keeps the historical single Bernoulli
     draw per datagram.
+
+    [resilience] installs the self-healing layer (lib/resilience), with
+    two visible effects.  (1) Adaptive retuning: each node runs its own
+    loss estimator over its own protocol counters and its own controller,
+    so (dL, s) become per-node quantities walking toward the section 6.3
+    solution for the estimated loss ([cluster_retunes]).  (2) Real
+    crash-restarts: entering a crash window saves a bounded view snapshot
+    (up to dL ids) and closes the node's socket — in-flight datagrams
+    bounce off a dead port — and leaving it rebinds a fresh socket on the
+    same port and rejoins via the section 5 joining rule, from the
+    snapshot or, failing that, a copy of a live neighbour's view
+    ([cluster_rejoins]).  Without the option a crash window merely
+    freezes the node, as before.
 
     If any socket operation fails mid-construction, every socket already
     opened is closed before the exception propagates. *)
@@ -80,6 +94,8 @@ type statistics = {
   datagrams_truncated : int;     (** shorter than {!Codec.message_size} *)
   decode_errors : int;           (** right-sized but undecodable (magic/version) *)
   send_errors : int;
+  rejoins : int;                 (** crash-restart recoveries (resilience mode) *)
+  retunes : int;                 (** per-node threshold retunes (resilience mode) *)
 }
 
 val statistics : t -> statistics

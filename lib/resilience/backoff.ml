@@ -1,0 +1,42 @@
+(* Capped exponential backoff with deterministic jitter.
+
+   All delays are measured in *rounds* — the paper's time unit — never in
+   wall-clock seconds: recovery scheduling must replay byte-identically
+   from a seed, so the jitter draw comes from an injected PRNG stream and
+   the caller converts rounds to its own clock (the sequential runner's
+   action clock, the cluster's firing period).  The sf_lint
+   [no-raw-backoff] rule pins any wall-clock sleeping to this module, and
+   this module never sleeps: it only computes when the next attempt is
+   allowed. *)
+
+type t = {
+  base : float;    (* delay of the first retry, in rounds *)
+  factor : float;  (* multiplier per consecutive failure *)
+  cap : float;     (* upper bound on the un-jittered delay *)
+  jitter : float;  (* fraction of the delay drawn uniformly at random *)
+  rng : Sf_prng.Rng.t;
+  mutable attempts : int;
+}
+
+let create ?(base = 1.0) ?(factor = 2.0) ?(cap = 32.0) ?(jitter = 0.5) ~rng () =
+  if base <= 0. then invalid_arg "Backoff.create: base must be positive";
+  if factor < 1. then invalid_arg "Backoff.create: factor must be >= 1";
+  if cap < base then invalid_arg "Backoff.create: cap must be >= base";
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Backoff.create: jitter must lie in [0, 1]";
+  { base; factor; cap; jitter; rng; attempts = 0 }
+
+let attempts t = t.attempts
+
+(* Delay before the next attempt: base * factor^attempts, capped, with the
+   last [jitter] fraction replaced by a uniform draw — full delay spread
+   [d * (1 - jitter), d], so concurrent recoverers desynchronize while the
+   expected wait still grows geometrically. *)
+let next t =
+  let raw = t.base *. (t.factor ** float_of_int t.attempts) in
+  let capped = Float.min raw t.cap in
+  t.attempts <- t.attempts + 1;
+  let spread = capped *. t.jitter in
+  capped -. (spread *. Sf_prng.Rng.float t.rng)
+
+let reset t = t.attempts <- 0

@@ -1,0 +1,32 @@
+(** Capped exponential backoff with deterministic jitter (delays in
+    rounds, randomness from an injected PRNG — never a wall clock).
+
+    This module computes waits; it never sleeps.  The sf_lint
+    [no-raw-backoff] rule forbids [Unix.sleep]/[Unix.sleepf] everywhere
+    else in the tree so that every retry delay in the system derives from
+    here and from an injected clock. *)
+
+type t
+
+val create :
+  ?base:float ->    (* first-retry delay in rounds (default 1.0) *)
+  ?factor:float ->  (* growth per consecutive failure (default 2.0) *)
+  ?cap:float ->     (* ceiling on the un-jittered delay (default 32.0) *)
+  ?jitter:float ->  (* jittered fraction of each delay, in [0,1] (default 0.5) *)
+  rng:Sf_prng.Rng.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on a non-positive base, factor < 1,
+    cap < base, or jitter outside [0, 1]. *)
+
+val next : t -> float
+(** Delay in rounds before the next attempt:
+    [min (base * factor^attempts) cap], with the final [jitter] fraction
+    drawn uniformly from the injected PRNG (so equal seeds yield equal
+    delay sequences).  Advances the attempt counter. *)
+
+val attempts : t -> int
+(** Consecutive failures charged since the last {!reset}. *)
+
+val reset : t -> unit
+(** Note a success: the next delay starts again from [base]. *)

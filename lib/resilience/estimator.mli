@@ -1,0 +1,37 @@
+(** Online loss estimation by inverting the Lemma 6.6 rate balance.
+
+    In a steady S&F system the per-send rates satisfy
+    [duplication = loss + deletion] (paper, Lemma 6.6).  Duplications and
+    deletions are locally observable protocol events while loss is not, so
+
+      [loss ~= duplications/sends - deletions/sends]
+
+    estimates the effective loss rate — chance drops, burst drops and
+    partition drops alike — from signals a deployed node already has.
+    Windowed, EWMA-smoothed, allocation-free and randomness-free. *)
+
+type t
+
+val create : ?window:int -> ?smoothing:float -> unit -> t
+(** [window] is the number of sends per estimation window (default 2000);
+    [smoothing] the EWMA weight of each fresh window in (0, 1] (default
+    0.3).  The first completed window initializes the estimate directly. *)
+
+val observe : t -> sends:int -> duplications:int -> deletions:int -> unit
+(** Feed counter {e deltas} since the previous call.  Whenever a full
+    window of sends completes, its inverted rate — clamped into [0, 0.99]
+    — folds into the smoothed estimate; a large delta can complete several
+    windows.  Raises [Invalid_argument] on negative deltas. *)
+
+val estimate : t -> float
+(** The current smoothed loss estimate in [0, 0.99]; [0.] before the
+    first window completes (see {!confident}). *)
+
+val confident : t -> bool
+(** At least one full window has been folded. *)
+
+val windows : t -> int
+(** Completed windows so far. *)
+
+val window : t -> int
+(** The configured window length in sends. *)

@@ -1,0 +1,64 @@
+(** The resilience policy threaded as [?resilience] through the drivers.
+
+    Bundles the {!Estimator}/{!Controller}/{!Supervisor} configuration
+    with the injected section 6.3 solver (normally
+    [Sf_analysis.Thresholds.select_lossy], wired at the call site — the
+    solver lives above this library in the dependency order).  Omitting
+    [?resilience] keeps every driver bit-for-bit identical to before the
+    layer existed; {!observe_only} estimates without acting and is also
+    replay-identical. *)
+
+type t = {
+  solve : loss:float -> int * int;
+  retune : bool;
+  recover : bool;
+  estimator_window : int;
+  smoothing : float;
+  hysteresis : float;
+  cooldown : int;
+  max_step : int;
+  max_lower : int option;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_cap : float;
+  backoff_jitter : float;
+}
+
+val make :
+  ?retune:bool ->           (* adaptive (dL, s) retuning (default true) *)
+  ?recover:bool ->          (* supervised connectivity repair (default true) *)
+  ?estimator_window:int ->  (* sends per estimation window (default 2000) *)
+  ?smoothing:float ->       (* estimator EWMA weight (default 0.3) *)
+  ?hysteresis:float ->      (* controller dead band (default 0.02) *)
+  ?cooldown:int ->          (* controller ticks between retunes (default 10) *)
+  ?max_step:int ->          (* slots moved per retune, even (default 4) *)
+  ?max_lower:int ->         (* dL ceiling (default capacity - 6) *)
+  ?backoff_base:float ->    (* first retry delay in rounds (default 1.0) *)
+  ?backoff_factor:float ->  (* backoff growth (default 2.0) *)
+  ?backoff_cap:float ->     (* backoff ceiling in rounds (default 32.0) *)
+  ?backoff_jitter:float ->  (* jittered delay fraction (default 0.5) *)
+  solve:(loss:float -> int * int) ->
+  unit ->
+  t
+
+val observe_only : ?estimator_window:int -> ?smoothing:float -> unit -> t
+(** Estimate the loss rate but never retune or repair.  Drivers given
+    this policy replay byte-identically to drivers given none (the
+    estimator consumes no randomness) — the property the identity tests
+    assert. *)
+
+val estimator : t -> Estimator.t
+(** A fresh estimator per this policy's knobs. *)
+
+val backoff : t -> rng:Sf_prng.Rng.t -> Backoff.t
+
+val supervisor : t -> rng:Sf_prng.Rng.t -> Supervisor.t
+(** A fresh supervisor whose backoff jitter draws from [rng] (a dedicated
+    resilience stream — drivers split it last so pre-existing streams are
+    untouched). *)
+
+val controller : t -> initial:(int * int) -> capacity:int -> Controller.t
+(** A fresh controller for a driver running at [initial] = (dL, s) with
+    [capacity] allocated view slots.  Budget: dL in
+    [0, min max_lower (capacity - 6)], s in [initial s, capacity] (views
+    are fixed arrays — s can never exceed the allocation). *)

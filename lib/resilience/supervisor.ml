@@ -1,0 +1,70 @@
+(* Recovery supervision under backoff.
+
+   The section 5 joining rule gives a node two escalating remedies when
+   its neighborhood dies — probe previously seen ids, then copy a live
+   view out of band — and lib/core already implements both
+   ([Runner.reconnect], [Runner.rebootstrap], [Churn.recover_connectivity]).
+   What none of them decide is *when*: a driver that fires them every
+   round hammers the rendezvous service exactly when the system is least
+   healthy (the thundering-herd failure mode), and one that never fires
+   them leaves permanent splits in place.
+
+   The supervisor is that scheduling state machine.  It swings between
+   two states:
+
+   - [Healthy]: the last health probe found nothing to repair; probes
+     continue at the driver's cadence and the backoff is reset.
+   - [Backing_off until]: a repair was attempted; no further attempt is
+     allowed before [until] (rounds), with the wait growing geometrically
+     under [Backoff] while repairs keep failing.
+
+   The module is driver-agnostic: callers probe their own health signals
+   (starvation/isolation sets, weak connectivity — see [Runner] and
+   [Sf_check.Invariant]) and report attempts/outcomes; the supervisor
+   answers only "may I try now?".  All timing is in rounds from the
+   caller's injected clock; jitter comes from the backoff's injected
+   PRNG. *)
+
+type state = Healthy | Backing_off of float  (* no attempt before this time *)
+
+type t = {
+  backoff : Backoff.t;
+  mutable state : state;
+  mutable attempts : int;    (* repair attempts charged *)
+  mutable recoveries : int;  (* attempts confirmed successful *)
+  mutable last_delay : float;
+}
+
+let create ~backoff () =
+  { backoff; state = Healthy; attempts = 0; recoveries = 0; last_delay = 0. }
+
+let due t ~now =
+  match t.state with Healthy -> true | Backing_off until -> now >= until
+
+(* Charge one repair attempt: the next one is gated [Backoff.next] rounds
+   away.  Returns the delay so drivers can export it (backoff
+   histograms). *)
+let record_attempt t ~now =
+  t.attempts <- t.attempts + 1;
+  let delay = Backoff.next t.backoff in
+  t.last_delay <- delay;
+  t.state <- Backing_off (now +. delay);
+  delay
+
+(* The follow-up probe found the system healthy again: count the recovery
+   and drop back to the fast path. *)
+let record_success t =
+  t.recoveries <- t.recoveries + 1;
+  Backoff.reset t.backoff;
+  t.state <- Healthy
+
+(* Nothing was wrong in the first place (a probe on the fast path): make
+   sure a stale backoff window cannot outlive the problem. *)
+let record_healthy t =
+  Backoff.reset t.backoff;
+  t.state <- Healthy
+
+let attempts t = t.attempts
+let recoveries t = t.recoveries
+let last_delay t = t.last_delay
+let backing_off t = match t.state with Healthy -> false | Backing_off _ -> true

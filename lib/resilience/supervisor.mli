@@ -1,0 +1,40 @@
+(** Scheduling state machine for connectivity repairs.
+
+    Drivers probe their own health signals (starved/isolated nodes, weak
+    connectivity) and perform their own repairs (the section 5
+    reconnect/rebootstrap rules); the supervisor decides {e when} an
+    attempt is allowed, spacing failures out under capped exponential
+    {!Backoff} so a sick system is not hammered by its own recovery.  All
+    times are in rounds from the caller's injected clock. *)
+
+type t
+
+val create : backoff:Backoff.t -> unit -> t
+
+val due : t -> now:float -> bool
+(** May a repair attempt run now?  Always true while healthy; false
+    inside a backoff window. *)
+
+val record_attempt : t -> now:float -> float
+(** Charge one repair attempt and open the next backoff window; returns
+    the drawn delay in rounds (for histogram export). *)
+
+val record_success : t -> unit
+(** The follow-up probe found the system healthy: count one recovery and
+    reset the backoff. *)
+
+val record_healthy : t -> unit
+(** A routine probe found nothing to repair: reset any stale backoff. *)
+
+val attempts : t -> int
+(** Repair attempts charged so far. *)
+
+val recoveries : t -> int
+(** Attempts confirmed successful by a later probe. *)
+
+val last_delay : t -> float
+(** The delay drawn by the most recent {!record_attempt} ([0.] before
+    any). *)
+
+val backing_off : t -> bool
+(** Currently inside a backoff window. *)

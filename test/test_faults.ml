@@ -245,6 +245,82 @@ let test_partition_heals_quickly () =
   let k = reconnect 0 in
   Alcotest.(check bool) "reconnected within 5 rounds of healing" true (k >= 0)
 
+(* Overlapping partitions with different split arities: a 2-way cut from
+   round 5 and a 3-way cut from round 40 are active together for 20
+   rounds, then the 3-way cut persists alone.  The rendezvous rule must
+   re-knit whatever is left standing — recovery can't assume the overlay
+   fractured along a single clean cut. *)
+let test_overlapping_partitions_recovery () =
+  let config = Protocol.make_config ~view_size:8 ~lower_threshold:2 in
+  let n = 200 in
+  let scenario = scenario_of_string "partition@5-60:2;partition@40-105:3" in
+  let topology = Topology.regular (Sf_prng.Rng.create 541) ~n ~out_degree:6 in
+  let r =
+    Runner.create ~scenario ~seed:540 ~n ~loss_rate:0.05 ~config ~topology ()
+  in
+  Runner.run_rounds r 110;
+  Alcotest.(check bool) "overlapping partitions split the overlay" false
+    (Properties.is_weakly_connected r);
+  (match Churn.recover_connectivity ~max_rounds:60 r with
+  | Some (rounds, rebootstraps) ->
+    Alcotest.(check bool) "recovery rebootstrapped at least once" true
+      (rebootstraps >= 1);
+    Alcotest.(check bool) "recovery bounded" true (rounds <= 60)
+  | None -> Alcotest.fail "recovery failed after overlapping partitions");
+  Alcotest.(check bool) "weakly connected after recovery" true
+    (Properties.is_weakly_connected r)
+
+(* Repeated partitions: the same 2-way cut opens, heals, and opens again.
+   Recovery after the second window must work exactly like after the
+   first — [recover_connectivity] is reusable, not one-shot. *)
+let test_repeated_partitions_recovery () =
+  let config = Protocol.make_config ~view_size:8 ~lower_threshold:2 in
+  let n = 200 in
+  let scenario = scenario_of_string "partition@5-60:2;partition@70-150:2" in
+  let topology = Topology.regular (Sf_prng.Rng.create 551) ~n ~out_degree:6 in
+  let r =
+    Runner.create ~scenario ~seed:550 ~n ~loss_rate:0.05 ~config ~topology ()
+  in
+  Runner.run_rounds r 65;
+  if not (Properties.is_weakly_connected r) then
+    (match Churn.recover_connectivity ~max_rounds:60 r with
+    | Some _ -> ()
+    | None -> Alcotest.fail "recovery failed after the first partition");
+  Alcotest.(check bool) "connected between the windows" true
+    (Properties.is_weakly_connected r);
+  Runner.run_rounds r 90;
+  Alcotest.(check bool) "second partition split the overlay again" false
+    (Properties.is_weakly_connected r);
+  (match Churn.recover_connectivity ~max_rounds:60 r with
+  | Some (_, rebootstraps) ->
+    Alcotest.(check bool) "second recovery rebootstrapped" true (rebootstraps >= 1)
+  | None -> Alcotest.fail "recovery failed after the repeated partition");
+  Alcotest.(check bool) "weakly connected after the second recovery" true
+    (Properties.is_weakly_connected r)
+
+(* A partition overlapping a crash wave: a tenth of the nodes freeze in
+   the middle of a long partition and resume after it ends.  Once both
+   windows close, recovery must re-knit the overlay including the
+   resumed nodes' stale views. *)
+let test_partition_overlapping_crash_recovery () =
+  let config = Protocol.make_config ~view_size:8 ~lower_threshold:2 in
+  let n = 200 in
+  let scenario = scenario_of_string "partition@5-105:2;crash@50-115:0-19" in
+  let topology = Topology.regular (Sf_prng.Rng.create 561) ~n ~out_degree:6 in
+  let r =
+    Runner.create ~scenario ~seed:560 ~n ~loss_rate:0.05 ~config ~topology ()
+  in
+  Runner.run_rounds r 120;
+  Alcotest.(check bool) "nobody is crashed after both windows" true
+    (not (Runner.is_crashed r 0));
+  if not (Properties.is_weakly_connected r) then
+    (match Churn.recover_connectivity ~max_rounds:60 r with
+    | Some (_, rebootstraps) ->
+      Alcotest.(check bool) "recovery rebootstrapped" true (rebootstraps >= 1)
+    | None -> Alcotest.fail "recovery failed after partition + crash");
+  Alcotest.(check bool) "weakly connected with resumed nodes" true
+    (Properties.is_weakly_connected r)
+
 (* Crash/restart under the strict audit: no invariant fires while a tenth
    of the system is frozen, boundary crossings resync the conservation
    baseline, and resumed nodes come back with their stale views. *)
@@ -291,6 +367,12 @@ let suite =
       test_partition_split_and_recovery;
     Alcotest.test_case "short partition heals within 5 rounds" `Slow
       test_partition_heals_quickly;
+    Alcotest.test_case "overlapping partitions recover" `Slow
+      test_overlapping_partitions_recovery;
+    Alcotest.test_case "repeated partitions recover twice" `Slow
+      test_repeated_partitions_recovery;
+    Alcotest.test_case "partition overlapping crash recovers" `Slow
+      test_partition_overlapping_crash_recovery;
     Alcotest.test_case "crash/restart passes the strict audit" `Quick
       test_crash_restart_strict_audit;
   ]

@@ -24,4 +24,5 @@ let () =
       ("check", Test_check.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
+      ("resilience", Test_resil.suite);
     ]

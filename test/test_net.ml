@@ -122,6 +122,97 @@ let test_cluster_injected_loss_rate () =
       Alcotest.(check bool) "degrees survive loss" true
         (Sf_stats.Summary.mean outs >= 4.))
 
+(* Regression for the select-loop hardening: a SIGALRM firing every few
+   milliseconds interrupts [Unix.select] with EINTR throughout the run.
+   The driver must treat that as "try again", not an error — before the
+   hardening this aborted the run with [Unix.Unix_error (EINTR, ...)]. *)
+let test_cluster_survives_signals () =
+  let fired = ref 0 in
+  let previous =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr fired))
+  in
+  let previous_timer =
+    Unix.setitimer Unix.ITIMER_REAL
+      { Unix.it_interval = 0.01; it_value = 0.01 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL previous_timer);
+      Sys.set_signal Sys.sigalrm previous)
+    (fun () ->
+      let c = make_cluster ~base_port:48300 () in
+      Fun.protect
+        ~finally:(fun () -> Cluster.shutdown c)
+        (fun () ->
+          Cluster.run c ~duration:1.0;
+          Alcotest.(check bool)
+            (Printf.sprintf "signals actually fired (%d)" !fired)
+            true (!fired > 10);
+          let stats = Cluster.statistics c in
+          Alcotest.(check bool) "the run kept making progress" true
+            (stats.Cluster.actions > 200);
+          Alcotest.(check int) "no decode errors" 0 stats.Cluster.decode_errors))
+
+(* Crash-restart with state recovery: under a resilience policy a crash
+   window really closes the victim's socket, and leaving the window
+   rebinds a fresh socket on the same port and rejoins from the saved
+   snapshot.  The cluster must finish with every node live, views sound
+   and the rejoins counted. *)
+let test_cluster_crash_rebind () =
+  let policy =
+    Sf_resil.Policy.make ~retune:false ~recover:false
+      ~solve:(fun ~loss:_ -> (4, 12))
+      ()
+  in
+  let scenario =
+    match Sf_faults.Scenario.of_string "crash@100-200:0-3" with
+    | Ok sc -> sc
+    | Error e -> Alcotest.fail ("scenario parse: " ^ e)
+  in
+  let n = 24 in
+  let topology = Sf_core.Topology.regular (Sf_prng.Rng.create 5) ~n ~out_degree:4 in
+  let c =
+    Cluster.create ~period:0.002 ~scenario ~resilience:policy ~base_port:48350 ~n
+      ~config ~loss_rate:0. ~seed:6 ~topology ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown c)
+    (fun () ->
+      (* period 2 ms: the crash window spans 0.2 s - 0.4 s of a 1.2 s run,
+         so every victim crashes and rejoins well before the end. *)
+      Cluster.run c ~duration:1.2;
+      let stats = Cluster.statistics c in
+      Alcotest.(check bool)
+        (Printf.sprintf "rejoins counted (%d)" stats.Cluster.rejoins)
+        true
+        (stats.Cluster.rejoins >= 1);
+      Alcotest.(check int) "nothing stayed crashed" 0
+        (Seq.fold_left
+           (fun acc (id, _) -> if Cluster.is_crashed c id then acc + 1 else acc)
+           0 (Cluster.views c));
+      (* Every view — including the rejoined victims' — is structurally
+         sound, inside M1 bounds and even (Observation 5.1). *)
+      Seq.iter
+        (fun (id, view) ->
+          (match Sf_check.Invariant.check_view view with
+          | Some v ->
+            Alcotest.failf "node %d: %a" id Sf_check.Invariant.pp_violation v
+          | None -> ());
+          let d = View.degree view in
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d outdegree %d within [0, 12] and even" id d)
+            true
+            (d >= 0 && d <= 12 && d mod 2 = 0))
+        (Cluster.views c);
+      (* The victims rejoined with usable views. *)
+      Seq.iter
+        (fun (id, view) ->
+          if id <= 3 then
+            Alcotest.(check bool)
+              (Printf.sprintf "victim %d has a non-empty view" id)
+              true (View.degree view > 0))
+        (Cluster.views c))
+
 let test_cluster_port_validation () =
   Alcotest.(check bool) "privileged ports rejected" true
     (match make_cluster ~base_port:80 () with
@@ -140,5 +231,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_codec_roundtrip;
     Alcotest.test_case "cluster converges (real UDP)" `Quick test_cluster_runs_and_converges;
     Alcotest.test_case "cluster loss injection" `Quick test_cluster_injected_loss_rate;
+    Alcotest.test_case "cluster survives SIGALRM storms (EINTR)" `Quick
+      test_cluster_survives_signals;
+    Alcotest.test_case "cluster crash-restart rebinds and rejoins" `Quick
+      test_cluster_crash_rebind;
     Alcotest.test_case "cluster port validation" `Quick test_cluster_port_validation;
   ]

@@ -188,6 +188,20 @@ let rules =
         ];
     };
     {
+      id = "no-raw-backoff";
+      doc =
+        "no raw sleeps: Unix.sleep/Unix.sleepf are forbidden outside \
+         lib/resilience/backoff.ml — retry pacing must go through the \
+         jittered, capped Backoff schedule (and simulated time where \
+         available), never an inline sleep";
+      applies = (fun path -> is_source path && path <> "lib/resilience/backoff.ml");
+      tokens =
+        [
+          ("Unix.sleep", "raw sleep — use Sf_resil.Backoff for retry pacing");
+          ("Unix.sleepf", "raw sleep — use Sf_resil.Backoff for retry pacing");
+        ];
+    };
+    {
       id = "no-print";
       doc = "no direct printing inside lib/ (use logs/fmt)";
       applies = (fun path -> in_lib path && is_source path);
