@@ -1,14 +1,23 @@
 # Convenience wrappers around dune; CI runs the same three gates.
 
-.PHONY: all build lint test check storm soak obs bench clean
+.PHONY: all build lint analyze test check storm soak obs bench clean
 
-all: lint build test
+all: lint analyze build test
 
 build:
 	dune build
 
 lint:
 	dune build @lint
+
+# AST-grade passes (shared-mutable-state inventory, effect signatures,
+# AST-precise partiality) over lib/bin/bench/tool, ratcheted by
+# analyze.baseline; writes the machine-readable shared-state report CI
+# uploads.  `sfg analyze` prints the same inventory as a table.
+analyze:
+	dune build @analyze
+	dune exec tool/analyze/sf_analyze.exe -- --baseline analyze.baseline \
+	  --report ANALYZE_report.json lib bin bench tool
 
 test:
 	dune runtest

@@ -8,8 +8,10 @@
      from the registry, checking the registry migration is a pure rename;
    - degree-marginal TVD of the instrumented run against the degree MC.
 
-   The numbers are also exposed as a Json value; the harness main merges
-   it with per-section wall times into the BENCH_obs.json artifact. *)
+   The numbers are also returned as a Json value; the harness main merges
+   it with per-section wall times into the BENCH_obs.json artifact.  (The
+   payload used to be stashed in a module-level ref — a shared-state
+   hazard under sf_analyze; now it flows through the return value.) *)
 
 module Runner = Sf_core.Runner
 module Protocol = Sf_core.Protocol
@@ -19,8 +21,6 @@ module Pmf = Sf_stats.Pmf
 module Degree_mc = Sf_analysis.Degree_mc
 module Metrics = Sf_obs.Metrics
 module Json = Sf_obs.Json
-
-let artifact : Json.t option ref = ref None
 
 let view_size = 40
 let lower_threshold = 18
@@ -152,30 +152,28 @@ let run () =
     Fmt.pr "  tracer: %d recorded, %d held, %d dropped to wraparound@."
       (Sf_obs.Trace.recorded tr) (Sf_obs.Trace.length tr) (Sf_obs.Trace.dropped tr));
 
-  artifact :=
-    Some
-      (Json.Obj
-         [
-           ( "overhead",
-             Json.Obj
-               [
-                 ("plain_wall_seconds", Json.Float plain_w);
-                 ("full_wall_seconds", Json.Float full_w);
-                 ("plain_cpu_seconds", Json.Float plain_c);
-                 ("full_cpu_seconds", Json.Float full_c);
-                 ("cpu_ratio", Json.Float ratio);
-               ] );
-           ( "lemma_6_6",
-             Json.Obj
-               [
-                 ("duplication", Json.Float rates.Runner.duplication);
-                 ("loss", Json.Float rates.Runner.loss);
-                 ("deletion", Json.Float rates.Runner.deletion);
-                 ( "residual",
-                   Json.Float
-                     (rates.Runner.duplication
-                     -. (rates.Runner.loss +. rates.Runner.deletion)) );
-               ] );
-           ("degree_tvd", Json.Float tvd);
-           ("metrics", Metrics.to_json m);
-         ])
+  Json.Obj
+    [
+      ( "overhead",
+        Json.Obj
+          [
+            ("plain_wall_seconds", Json.Float plain_w);
+            ("full_wall_seconds", Json.Float full_w);
+            ("plain_cpu_seconds", Json.Float plain_c);
+            ("full_cpu_seconds", Json.Float full_c);
+            ("cpu_ratio", Json.Float ratio);
+          ] );
+      ( "lemma_6_6",
+        Json.Obj
+          [
+            ("duplication", Json.Float rates.Runner.duplication);
+            ("loss", Json.Float rates.Runner.loss);
+            ("deletion", Json.Float rates.Runner.deletion);
+            ( "residual",
+              Json.Float
+                (rates.Runner.duplication
+                -. (rates.Runner.loss +. rates.Runner.deletion)) );
+          ] );
+      ("degree_tvd", Json.Float tvd);
+      ("metrics", Metrics.to_json m);
+    ]

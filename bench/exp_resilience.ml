@@ -27,19 +27,11 @@ module Invariant = Sf_check.Invariant
 module Policy = Sf_resil.Policy
 module Json = Sf_obs.Json
 
-let artifact_path = "BENCH_resil.json"
-
-let sections : (string * Json.t) list ref = ref []
-
-let record id json =
-  sections := (id, json) :: List.filter (fun (i, _) -> i <> id) !sections;
-  let payload =
-    Json.Obj (List.rev_map (fun (i, j) -> (i, j)) !sections)
-  in
-  Out_channel.with_open_text artifact_path (fun oc ->
-      output_string oc (Json.to_string payload);
-      output_string oc "\n");
-  Fmt.pr "  (updated %s)@." artifact_path
+(* Each section returns its (id, payload) pair; the harness main
+   accumulates them and rewrites BENCH_resil.json after every section.
+   (The accumulator used to be a module-level ref — a shared-state hazard
+   under sf_analyze; now the state lives in the driver.) *)
+let record id json = (id, json)
 
 (* The production solver wiring: section 6.3 re-solved for the estimated
    loss, clamped below the select_lossy domain bound. *)

@@ -4,82 +4,125 @@
 
    Every run also writes BENCH_obs.json: per-section wall times plus — when
    the OBS section ran — the observability payload (Lemma 6.6 balance,
-   degree-marginal TVD, instrumentation overhead, metrics snapshot).
+   degree-marginal TVD, instrumentation overhead, metrics snapshot).  The
+   resilience sections contribute to BENCH_resil.json, rewritten after each
+   section so a partial run still leaves a valid artifact.
+
+   Artifact payloads flow through section return values into driver-local
+   state — no module-level refs (sf_analyze's shared-state inventory gates
+   on that).
 
    Run everything:          dune exec bench/main.exe
    Run selected sections:   dune exec bench/main.exe -- F6.1 F6.3
    List sections:           dune exec bench/main.exe -- --list *)
 
+module Json = Sf_obs.Json
+
+(* What a section hands back to the driver, beyond stdout. *)
+type payload =
+  | Quiet
+  | Obs of Json.t  (* the OBS observability payload for BENCH_obs.json *)
+  | Resil of string * Json.t  (* one BENCH_resil.json section *)
+
+let quiet f () =
+  f ();
+  Quiet
+
+let resil f () =
+  let id, json = f () in
+  Resil (id, json)
+
 let experiments =
   [
-    ("F5.2", Exp_degrees.fig_5_2);
-    ("F6.1", Exp_degrees.fig_6_1);
-    ("T6.3", Exp_degrees.table_6_3);
-    ("F6.3", Exp_degrees.fig_6_3);
-    ("L6.6", Exp_degrees.table_6_7);
-    ("F6.4", Exp_churn.fig_6_4);
-    ("C6.14", Exp_churn.table_6_14);
-    ("L7.6", Exp_independence.table_7_6);
-    ("F7.1", Exp_independence.fig_7_1);
-    ("T7.4", Exp_independence.table_7_4);
-    ("L7.15", Exp_independence.table_7_15);
-    ("L7.5", Exp_independence.table_7_5);
-    ("B1", Exp_baselines.table_baselines);
-    ("B2", Exp_baselines.table_random_walk);
-    ("A1", Exp_ablations.ablation_scheduler);
-    ("A2", Exp_ablations.ablation_sender_weighting);
-    ("A3", Exp_ablations.ablation_duplication);
-    ("A4", Exp_ablations.ablation_variants);
-    ("A5", Exp_ablations.ablation_reconnection);
-    ("G1", Exp_extensions.graph_quality);
-    ("M1", Exp_extensions.degree_mc_mixing);
-    ("B3", Exp_extensions.minwise_vs_views);
-    ("B4", Exp_extensions.cyclon_age_rule);
-    ("P1", Exp_extensions.partition_healing);
-    ("FA1", Exp_faults.bursty_vs_iid);
-    ("FA2", Exp_faults.fault_recovery);
-    ("N1", Exp_robustness.nonuniform_loss);
-    ("CH1", Exp_robustness.session_churn);
-    ("R1", Exp_robustness.dissemination);
-    ("U1", Exp_robustness.udp_crosscheck);
-    ("OBS", Exp_obs.run);
-    ("RES1", Exp_resilience.fig_res1);
-    ("RES2", Exp_resilience.fig_res2);
-    ("RSOAK", Exp_resilience.rsoak);
-    ("SPEED", Speed.run);
+    ("F5.2", quiet Exp_degrees.fig_5_2);
+    ("F6.1", quiet Exp_degrees.fig_6_1);
+    ("T6.3", quiet Exp_degrees.table_6_3);
+    ("F6.3", quiet Exp_degrees.fig_6_3);
+    ("L6.6", quiet Exp_degrees.table_6_7);
+    ("F6.4", quiet Exp_churn.fig_6_4);
+    ("C6.14", quiet Exp_churn.table_6_14);
+    ("L7.6", quiet Exp_independence.table_7_6);
+    ("F7.1", quiet Exp_independence.fig_7_1);
+    ("T7.4", quiet Exp_independence.table_7_4);
+    ("L7.15", quiet Exp_independence.table_7_15);
+    ("L7.5", quiet Exp_independence.table_7_5);
+    ("B1", quiet Exp_baselines.table_baselines);
+    ("B2", quiet Exp_baselines.table_random_walk);
+    ("A1", quiet Exp_ablations.ablation_scheduler);
+    ("A2", quiet Exp_ablations.ablation_sender_weighting);
+    ("A3", quiet Exp_ablations.ablation_duplication);
+    ("A4", quiet Exp_ablations.ablation_variants);
+    ("A5", quiet Exp_ablations.ablation_reconnection);
+    ("G1", quiet Exp_extensions.graph_quality);
+    ("M1", quiet Exp_extensions.degree_mc_mixing);
+    ("B3", quiet Exp_extensions.minwise_vs_views);
+    ("B4", quiet Exp_extensions.cyclon_age_rule);
+    ("P1", quiet Exp_extensions.partition_healing);
+    ("FA1", quiet Exp_faults.bursty_vs_iid);
+    ("FA2", quiet Exp_faults.fault_recovery);
+    ("N1", quiet Exp_robustness.nonuniform_loss);
+    ("CH1", quiet Exp_robustness.session_churn);
+    ("R1", quiet Exp_robustness.dissemination);
+    ("U1", quiet Exp_robustness.udp_crosscheck);
+    ("OBS", fun () -> Obs (Exp_obs.run ()));
+    ("RES1", resil Exp_resilience.fig_res1);
+    ("RES2", resil Exp_resilience.fig_res2);
+    ("RSOAK", resil Exp_resilience.rsoak);
+    ("SPEED", quiet Speed.run);
   ]
 
 let artifact_path = "BENCH_obs.json"
+let resil_artifact_path = "BENCH_resil.json"
 
-(* Run one experiment, returning its wall time (the tree's single wall
-   clock lives in Sf_obs.Clock). *)
-let timed f =
-  let elapsed = Sf_obs.Clock.stopwatch ~clock:Sf_obs.Clock.wall in
-  f ();
-  elapsed ()
+let write_json path json =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string json);
+      output_string oc "\n")
 
-let write_artifact timings =
-  let obs = match !Exp_obs.artifact with Some j -> j | None -> Sf_obs.Json.Null in
+let write_artifact timings obs =
   let json =
-    Sf_obs.Json.Obj
+    Json.Obj
       [
         ( "sections",
-          Sf_obs.Json.List
+          Json.List
             (List.map
                (fun (id, seconds) ->
-                 Sf_obs.Json.Obj
+                 Json.Obj
                    [
-                     ("id", Sf_obs.Json.String id);
-                     ("seconds", Sf_obs.Json.Float seconds);
+                     ("id", Json.String id);
+                     ("seconds", Json.Float seconds);
                    ])
                timings) );
         ("obs", obs);
       ]
   in
-  Out_channel.with_open_text artifact_path (fun oc ->
-      output_string oc (Sf_obs.Json.to_string json);
-      output_string oc "\n");
+  write_json artifact_path json;
   Fmt.pr "@.Wrote %s (%d sections).@." artifact_path (List.length timings)
+
+(* Run the sections in order, collecting wall times and payloads.  The
+   tree's single wall clock lives in Sf_obs.Clock. *)
+let run_sections sections =
+  let obs_payload = ref Json.Null in
+  let resil_sections = ref [] in
+  let timings =
+    List.map
+      (fun (id, f) ->
+        let elapsed = Sf_obs.Clock.stopwatch ~clock:Sf_obs.Clock.wall in
+        let payload = f () in
+        let seconds = elapsed () in
+        (match payload with
+        | Quiet -> ()
+        | Obs json -> obs_payload := json
+        | Resil (key, json) ->
+          resil_sections :=
+            (key, json) :: List.filter (fun (k, _) -> k <> key) !resil_sections;
+          write_json resil_artifact_path (Json.Obj (List.rev !resil_sections));
+          Fmt.pr "  (updated %s)@." resil_artifact_path);
+        Fmt.pr "  (%s finished in %.1fs)@." id seconds;
+        (id, seconds))
+      sections
+  in
+  write_artifact timings !obs_payload
 
 let () =
   let args =
@@ -90,24 +133,14 @@ let () =
     List.iter (fun (id, _) -> Fmt.pr "%s@." id) experiments
   | [] ->
     Fmt.pr "Send & Forget reproduction harness (PODC'09 / SICOMP'10).@.";
-    let timings =
-      List.map
-        (fun (id, f) ->
-          let seconds = timed f in
-          Fmt.pr "  (%s finished in %.1fs)@." id seconds;
-          (id, seconds))
-        experiments
-    in
-    write_artifact timings
+    run_sections experiments
   | selected ->
-    let timings =
-      List.filter_map
-        (fun id ->
-          match List.assoc_opt id experiments with
-          | Some f -> Some (id, timed f)
-          | None ->
-            Fmt.epr "unknown experiment %S (try --list)@." id;
-            None)
-        selected
-    in
-    write_artifact timings
+    run_sections
+      (List.filter_map
+         (fun id ->
+           match List.assoc_opt id experiments with
+           | Some f -> Some (id, f)
+           | None ->
+             Fmt.epr "unknown experiment %S (try --list)@." id;
+             None)
+         selected)

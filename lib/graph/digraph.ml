@@ -6,7 +6,7 @@
 module Int_table = Hashtbl.Make (struct
   type t = int
   let equal = Int.equal
-  let hash = Hashtbl.hash
+  let hash = Sf_prng.Splitmix64.mix_int
 end)
 
 type t = {

@@ -17,6 +17,18 @@ let next t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* The stateless finalizer alone: the avalanche mix of [next] without the
+   gamma step, as a keyless deterministic int hash.  Hashtbl.Make functors
+   over int keys use this instead of the polymorphic Hashtbl.hash so that
+   bucket order is a function of the key bits only, identical across runs,
+   architectures and OCaml versions. *)
+let mix_int x =
+  let z = Int64.of_int x in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land max_int
+
 (* Expand a seed into [n] distinct 64-bit values. *)
 let expand seed n =
   let t = create seed in

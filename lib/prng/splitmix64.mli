@@ -20,6 +20,13 @@ val next : t -> int64
 (** Advance the state by the golden gamma and return its mixed image.
     Every call yields a fresh value; the sequence has period 2{^64}. *)
 
+val mix_int : int -> int
+(** The stateless avalanche finalizer of {!next} applied to a native int:
+    a deterministic, well-distributed, non-negative hash of the key bits
+    alone.  Use it as the [hash] of [Hashtbl.Make] functors over int-like
+    keys where iteration order must not depend on the polymorphic
+    [Hashtbl.hash] (whose behaviour the determinism lint forbids). *)
+
 val expand : int64 -> int -> int64 array
 (** [expand seed n] is the first [n] outputs of a generator seeded with
     [seed] — the seed-expansion helper behind {!Rng.create}. *)

@@ -26,19 +26,19 @@ let rec log_gamma x =
     (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
 
 let log_factorial =
-  (* Memoize small values: the degree analysis calls this in tight loops. *)
+  (* Memoize small values: the degree analysis calls this in tight loops.
+     The table is filled eagerly at module initialisation and read-only
+     afterwards, so it is safe to share across domains (a lazy cache here
+     would race on Lazy.force); sf_analyze classifies it in
+     analyze.baseline. *)
   let cache_size = 1024 in
-  let cache = lazy (
-    let c = Array.make cache_size 0. in
-    for i = 2 to cache_size - 1 do
-      c.(i) <- c.(i - 1) +. log (float_of_int i)
-    done;
-    c)
-  in
+  let cache = Array.make cache_size 0. in
+  for i = 2 to cache_size - 1 do
+    cache.(i) <- cache.(i - 1) +. log (float_of_int i)
+  done;
   fun n ->
     if n < 0 then invalid_arg "Special.log_factorial: negative argument";
-    if n < cache_size then (Lazy.force cache).(n)
-    else log_gamma (float_of_int n +. 1.)
+    if n < cache_size then cache.(n) else log_gamma (float_of_int n +. 1.)
 
 let log_choose n k =
   if k < 0 || k > n then neg_infinity

@@ -135,6 +135,42 @@ let test_check_files_combines () =
   let rules = List.sort_uniq compare (rules_of findings) in
   Alcotest.(check (list string)) "token + file-set rules" [ "missing-mli"; "no-partial" ] rules
 
+(* --- quoted strings {|…|} / {id|…|id} ---
+
+   A quote or comment opener inside a quoted string used to desync the
+   stripper and corrupt every lexical rule for the rest of the file. *)
+
+let test_quoted_strings_do_not_desync () =
+  (* The unbalanced '"' inside {|…|} must not open a string: the Random.
+     call after it is real code and must still fire. *)
+  check_fires "quote inside {|...|}" ~rule:"determinism" ~path:"lib/core/bad.ml"
+    "let s = {|he said \"hi|}\nlet x = Random.int 3";
+  (* Same with a comment opener in the payload. *)
+  check_fires "comment opener inside {|...|}" ~rule:"determinism"
+    ~path:"lib/core/bad.ml" "let s = {|open (* not a comment|}\nlet x = Random.int 3";
+  (* Delimited form: the payload may even contain |} of a shorter id. *)
+  check_fires "delimited {id|...|id}" ~rule:"determinism" ~path:"lib/core/bad.ml"
+    "let s = {ext|contains |} and \" quote|ext}\nlet x = Random.int 3"
+
+let test_quoted_string_contents_are_not_code () =
+  (* Mentions inside the payload are data, not code. *)
+  check_quiet "token inside {|...|}" ~path:"lib/core/good.ml"
+    "let usage = {|never call Random.int here|}";
+  check_quiet "token inside {id|...|id}" ~path:"lib/core/good.ml"
+    "let usage = {doc|List.hd raises on []|doc}";
+  (* Quoted strings inside comments are recognised by the OCaml lexer:
+     an unbalanced comment closer within one must not end the comment. *)
+  check_quiet "quoted string inside comment" ~path:"lib/core/good.ml"
+    "(* example: {|*)|} still comment *) let x = 1";
+  (* A lone '{' that opens no quoted string is ordinary code. *)
+  check_fires "brace is not a quoted string" ~rule:"determinism"
+    ~path:"lib/core/bad.ml" "let r = { contents = Random.int 3 }"
+
+let test_unterminated_quoted_string () =
+  (* Unterminated payload blanks to EOF rather than looping or raising. *)
+  check_quiet "unterminated {|" ~path:"lib/core/good.ml"
+    "let s = {|Random.int with no close"
+
 (* --- line numbers --- *)
 
 let test_line_numbers () =
@@ -218,6 +254,12 @@ let suite =
     Alcotest.test_case "no-print scoped to lib" `Quick test_print_scoped_to_lib;
     Alcotest.test_case "missing-mli" `Quick test_missing_mli;
     Alcotest.test_case "check_files combines rules" `Quick test_check_files_combines;
+    Alcotest.test_case "quoted strings do not desync" `Quick
+      test_quoted_strings_do_not_desync;
+    Alcotest.test_case "quoted string contents are not code" `Quick
+      test_quoted_string_contents_are_not_code;
+    Alcotest.test_case "unterminated quoted string" `Quick
+      test_unterminated_quoted_string;
     Alcotest.test_case "line numbers" `Quick test_line_numbers;
     Alcotest.test_case "allowlist parse" `Quick test_allowlist_parse;
     Alcotest.test_case "allowlist rejects garbage" `Quick test_allowlist_rejects_garbage;

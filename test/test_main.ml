@@ -21,6 +21,7 @@ let () =
       ("net", Test_net.suite);
       ("robustness", Test_robustness.suite);
       ("lint", Test_lint.suite);
+      ("analyze", Test_analyze.suite);
       ("check", Test_check.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);

@@ -1,0 +1,121 @@
+(* sf_analyze — AST-grade static analysis driver.
+
+   Usage: sf_analyze [--baseline FILE] [--report FILE] [--list-rules] DIR...
+
+   Walks the given directories (skipping _build and dot-directories),
+   parses every .ml/.mli with the compiler frontend, runs the
+   Analyze_passes passes, subtracts the baseline, optionally writes the
+   JSON shared-state/effects report, and exits nonzero if any finding
+   survives or any baseline entry is stale.
+
+   Exit codes: 0 clean; 1 findings or stale baseline entries; 2 usage,
+   I/O or baseline-parse error.  Paths are reported relative to the
+   working directory, which is the workspace root under
+   `dune build @analyze`. *)
+
+module Passes = Sf_analyze_passes.Analyze_passes
+
+let usage = "usage: sf_analyze [--baseline FILE] [--report FILE] [--list-rules] DIR..."
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name ->
+        if name = "_build" || (String.length name > 0 && name.[0] = '.') then acc
+        else walk acc (Filename.concat path name))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let normalize path =
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let () =
+  let baseline_file = ref None in
+  let report_file = ref None in
+  let roots = ref [] in
+  let list_rules = ref false in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.String (fun f -> baseline_file := Some f),
+        "FILE suppressions, one 'path rule' per line (sf_lint contract)" );
+      ( "--report",
+        Arg.String (fun f -> report_file := Some f),
+        "FILE write the JSON shared-state/effects report here" );
+      ("--list-rules", Arg.Set list_rules, " print the rule list and exit");
+    ]
+  in
+  Arg.parse spec (fun dir -> roots := dir :: !roots) usage;
+  if !list_rules then begin
+    List.iter (fun (id, doc) -> Fmt.pr "%-18s %s@." id doc) Passes.rule_docs;
+    exit 0
+  end;
+  if !roots = [] then begin
+    Fmt.epr "%s@." usage;
+    exit 2
+  end;
+  let baseline =
+    match !baseline_file with
+    | None -> []
+    | Some file -> (
+      let content =
+        try read_file file
+        with Sys_error msg ->
+          Fmt.epr "sf_analyze: %s@." msg;
+          exit 2
+      in
+      match Passes.parse_baseline content with
+      | Ok entries -> entries
+      | Error msg ->
+        Fmt.epr "sf_analyze: %s@." msg;
+        exit 2)
+  in
+  let paths =
+    try
+      List.fold_left walk [] (List.rev !roots)
+      |> List.map normalize
+      |> List.sort_uniq compare
+    with Sys_error msg ->
+      Fmt.epr "sf_analyze: %s@." msg;
+      exit 2
+  in
+  let files = List.map (fun p -> (p, read_file p)) paths in
+  let analysis = Passes.analyze_files files in
+  let kept, stale = Passes.apply_baseline baseline analysis in
+  (match !report_file with
+  | None -> ()
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        output_string oc (Sf_obs.Json.to_string (Passes.report_json ~kept analysis));
+        output_string oc "\n"));
+  List.iter (fun f -> Fmt.pr "%a@." Passes.pp_finding f) kept;
+  List.iter
+    (fun (e : Passes.baseline_entry) ->
+      Fmt.pr "%s: stale baseline entry for rule %s (nothing to suppress)@."
+        e.allow_path e.allow_rule)
+    stale;
+  if kept = [] && stale = [] then begin
+    let unclassified =
+      List.length (List.filter (fun h -> not h.Passes.h_classified) analysis.hazards)
+    in
+    Fmt.pr
+      "sf_analyze: %d files clean (%d hazards classified, %d unclassified, %d \
+       effectful / %d pure functions, %d baseline entries)@."
+      analysis.parsed_files
+      (List.length analysis.hazards - unclassified)
+      unclassified
+      (List.length analysis.effect_sigs)
+      analysis.pure_functions (List.length baseline);
+    exit 0
+  end
+  else exit 1

@@ -27,13 +27,44 @@ let pp_finding ppf f =
 
    Replace comment and string-literal contents with spaces, preserving
    newlines so line numbers survive.  Handles nested (* *) comments,
-   strings inside comments (significant to the OCaml lexer), escapes, and
-   character literals (so '"' does not open a string). *)
+   strings inside comments (significant to the OCaml lexer), escapes,
+   character literals (so '"' does not open a string), and quoted strings
+   {|…|} / {id|…|id} — whose raw payload may contain '"' and comment
+   openers without desyncing the scan, in code and in comments alike. *)
 
 let strip_literals source =
   let n = String.length source in
   let out = Bytes.of_string source in
   let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  (* If position [i] (at '{') opens a quoted string, the position just
+     past its closing |id} (or the end of input if unterminated); the
+     payload is raw, so the only terminator is the exact delimiter. *)
+  let quoted_string_end i =
+    let rec delim j =
+      if j >= n then None
+      else
+        match source.[j] with
+        | 'a' .. 'z' | '_' -> delim (j + 1)
+        | '|' -> Some j
+        | _ -> None
+    in
+    match delim (i + 1) with
+    | None -> None
+    | Some bar ->
+      let close = "|" ^ String.sub source (i + 1) (bar - i - 1) ^ "}" in
+      let k = String.length close in
+      let rec find j =
+        if j + k > n then n
+        else if String.sub source j k = close then j + k
+        else find (j + 1)
+      in
+      Some (find (bar + 1))
+  in
+  let blank_range i stop =
+    for j = i to stop - 1 do
+      blank j
+    done
+  in
   let rec code i =
     if i >= n then ()
     else
@@ -43,6 +74,12 @@ let strip_literals source =
         blank (i + 1);
         comment 1 (i + 2)
       | '"' -> string ~in_comment:false (i + 1)
+      | '{' -> (
+        match quoted_string_end i with
+        | Some stop ->
+          blank_range i stop;
+          code stop
+        | None -> code (i + 1))
       | '\'' when i + 2 < n && source.[i + 1] <> '\\' && source.[i + 2] = '\'' ->
         (* 'c' character literal; blank the payload ('"' in particular). *)
         blank (i + 1);
@@ -68,6 +105,16 @@ let strip_literals source =
       | '"' ->
         blank i;
         string ~in_comment:true ~depth (i + 1)
+      | '{' -> (
+        (* The OCaml lexer recognises quoted strings inside comments too:
+           an unbalanced comment closer in one must not end the comment. *)
+        match quoted_string_end i with
+        | Some stop ->
+          blank_range i stop;
+          comment depth stop
+        | None ->
+          blank i;
+          comment depth (i + 1))
       | _ ->
         blank i;
         comment depth (i + 1)
