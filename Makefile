@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; CI runs the same three gates.
 
-.PHONY: all build lint analyze test check storm soak obs bench clean
+.PHONY: all build lint analyze test check storm soak obs scale bench clean
 
 all: lint analyze build test
 
@@ -61,6 +61,16 @@ obs: build
 	dune exec bin/sfg.exe -- trace --n 100 --rounds 5 -o /tmp/sfg-trace-b.jsonl
 	cmp /tmp/sfg-trace-a.jsonl /tmp/sfg-trace-b.jsonl
 	rm -f /tmp/sfg-trace-a.jsonl /tmp/sfg-trace-b.jsonl
+
+# Scale smoke (budget: well under a minute): the sharded flat-state
+# engine at n = 10^4 under the strict round-granular audit and the
+# domain-count determinism cross-check, then the SCALE10 bench section
+# which writes BENCH_scale.json.  The full million-node ladder is
+# `dune exec bench/main.exe -- SCALE`.
+scale: build
+	dune exec bin/sfg.exe -- scale --n 10000 --rounds 30 --loss 0.05 \
+	  --audit --verify-domains 2
+	dune exec bench/main.exe -- SCALE10
 
 bench:
 	dune exec bench/main.exe

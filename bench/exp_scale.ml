@@ -1,0 +1,163 @@
+(* SCALE: the million-node ladder over the sharded flat-state runner
+   (ROADMAP item 1).
+
+   Three legs — n = 10^4, 10^5, 10^6 — each running bulk-synchronous
+   rounds on Runner.Sharded and reporting actions/second plus the
+   process's peak RSS.  The 10k leg additionally:
+
+   - replays itself under the strict invariant audit (edge ledger every
+     round, full structural scan periodically) on a fresh world, and
+   - re-runs on 2 domains and asserts bit-for-bit equality with the
+     1-domain world (Runner.Sharded.equal) — the determinism contract of
+     the sharded engine, checked in anger.
+
+   The whole ladder folds into BENCH_scale.json (one object per leg).
+   [run ~smoke:true] is the CI gate: the 10k leg only, with both checks,
+   well under a minute.  The full ladder is the artifact behind the
+   committed BENCH_scale.json. *)
+
+module Sharded = Sf_core.Runner.Sharded
+module Protocol = Sf_core.Protocol
+module Census = Sf_core.Census
+module Invariant = Sf_check.Invariant
+module Json = Sf_obs.Json
+
+let seed = 42
+let loss = 0.05
+let shards = 16
+
+(* Small view: at n = 10^6, each of ids/serials/anchors/born is
+   n * s ints — s = 16 keeps the store at ~512 MB of unboxed arrays. *)
+let config = Protocol.make_config ~view_size:16 ~lower_threshold:4
+
+let make n = Sharded.create ~shards ~loss_rate:loss ~seed ~n ~config ()
+
+type leg = {
+  n : int;
+  rounds : int;
+  domains : int;
+  seconds : float;
+  actions : int;
+  peak_rss_kb : int option;
+  mean_degree : float;
+  alpha : float;
+  audited : bool;
+  audit_violations : int;
+  identity_checked : bool;
+  identity_ok : bool;
+}
+
+let actions_per_sec leg =
+  if leg.seconds > 0. then float_of_int leg.actions /. leg.seconds else 0.
+
+(* One timed leg: fresh world, [rounds] rounds, no audit in the timed
+   region (the audit's per-round scans would dominate at 10^6). *)
+let timed_leg ~n ~rounds ~domains ~audit =
+  let audited, audit_violations, identity_checked, identity_ok =
+    if not audit then (false, 0, false, false)
+    else begin
+      (* Strict audit on its own world: any violation raises. *)
+      let w = make n in
+      let stats = Invariant.audited_sharded_run ~scan_every:10 w ~rounds in
+      (* Domain-count invariance: 1 domain vs 2 domains, same seed. *)
+      let a = make n and b = make n in
+      Sharded.run_rounds a ~domains:1 rounds;
+      Sharded.run_rounds b ~domains:2 rounds;
+      (true, stats.Invariant.violation_count, true, Sharded.equal a b)
+    end
+  in
+  let w = make n in
+  let elapsed = Sf_obs.Clock.stopwatch ~clock:Sf_obs.Clock.wall in
+  Sharded.run_rounds w ~domains rounds;
+  let seconds = elapsed () in
+  let counters = Sharded.world_counters w in
+  let census = Census.of_flat (Sharded.store w) in
+  let leg =
+    {
+      n;
+      rounds;
+      domains;
+      seconds;
+      actions = counters.Sf_core.Runner.actions;
+      peak_rss_kb = Sf_obs.Clock.peak_rss_kb ();
+      mean_degree =
+        float_of_int (Sharded.total_edges w) /. float_of_int n;
+      alpha = census.Census.alpha;
+      audited;
+      audit_violations;
+      identity_checked;
+      identity_ok;
+    }
+  in
+  Output.row "  n=%7d  rounds=%2d  %6.2fs  %10.0f actions/s  d=%5.2f  alpha=%.3f%s@."
+    n rounds seconds (actions_per_sec leg) leg.mean_degree leg.alpha
+    (match leg.peak_rss_kb with
+    | Some kb -> Fmt.str "  rss=%dMB" (kb / 1024)
+    | None -> "");
+  if audit then begin
+    Output.check (Fmt.str "strict audit clean over %d rounds" rounds)
+      (audit_violations = 0);
+    Output.check "2-domain run bit-identical to 1-domain run" identity_ok
+  end;
+  leg
+
+let json_of_leg leg =
+  Json.Obj
+    [
+      ("n", Json.Int leg.n);
+      ("rounds", Json.Int leg.rounds);
+      ("domains", Json.Int leg.domains);
+      ("shards", Json.Int shards);
+      ("loss", Json.Float loss);
+      ("seconds", Json.Float leg.seconds);
+      ("actions", Json.Int leg.actions);
+      ("actions_per_sec", Json.Float (actions_per_sec leg));
+      ( "peak_rss_kb",
+        match leg.peak_rss_kb with Some kb -> Json.Int kb | None -> Json.Null );
+      ("mean_degree", Json.Float leg.mean_degree);
+      ("alpha", Json.Float leg.alpha);
+      ("audited", Json.Bool leg.audited);
+      ("audit_violations", Json.Int leg.audit_violations);
+      ("identity_checked", Json.Bool leg.identity_checked);
+      ("identity_ok", Json.Bool leg.identity_ok);
+    ]
+
+let run ~smoke () =
+  Output.section
+    (if smoke then "SCALE10" else "SCALE")
+    "Million-node ladder on the sharded flat-state runner";
+  Output.row "  s=%d dL=%d shards=%d loss=%.2f seed=%d@."
+    config.Protocol.view_size config.Protocol.lower_threshold shards loss seed;
+  let domains = max 1 (min shards (Domain.recommended_domain_count ())) in
+  (* Ascending n, sequenced explicitly: peak RSS is the process's monotone
+     high-water mark, so each leg's reading must not inherit a larger
+     earlier world (and list literals evaluate right to left). *)
+  let legs =
+    if smoke then [ timed_leg ~n:10_000 ~rounds:30 ~domains ~audit:true ]
+    else begin
+      let small = timed_leg ~n:10_000 ~rounds:30 ~domains ~audit:true in
+      let mid = timed_leg ~n:100_000 ~rounds:10 ~domains ~audit:false in
+      let big = timed_leg ~n:1_000_000 ~rounds:5 ~domains ~audit:false in
+      [ small; mid; big ]
+    end
+  in
+  let failed =
+    List.exists
+      (fun l -> l.audit_violations > 0 || (l.identity_checked && not l.identity_ok))
+      legs
+  in
+  if failed then failwith "SCALE: audit or determinism check failed";
+  Json.Obj
+    [
+      ("config",
+       Json.Obj
+         [
+           ("view_size", Json.Int config.Protocol.view_size);
+           ("lower_threshold", Json.Int config.Protocol.lower_threshold);
+           ("shards", Json.Int shards);
+           ("loss", Json.Float loss);
+           ("seed", Json.Int seed);
+           ("domains", Json.Int domains);
+         ]);
+      ("legs", Json.List (List.map json_of_leg legs));
+    ]

@@ -23,6 +23,7 @@ type payload =
   | Quiet
   | Obs of Json.t  (* the OBS observability payload for BENCH_obs.json *)
   | Resil of string * Json.t  (* one BENCH_resil.json section *)
+  | Scale of Json.t  (* the scale ladder, written to BENCH_scale.json *)
 
 let quiet f () =
   f ();
@@ -68,11 +69,14 @@ let experiments =
     ("RES1", resil Exp_resilience.fig_res1);
     ("RES2", resil Exp_resilience.fig_res2);
     ("RSOAK", resil Exp_resilience.rsoak);
+    ("SCALE", fun () -> Scale (Exp_scale.run ~smoke:false ()));
+    ("SCALE10", fun () -> Scale (Exp_scale.run ~smoke:true ()));
     ("SPEED", quiet Speed.run);
   ]
 
 let artifact_path = "BENCH_obs.json"
 let resil_artifact_path = "BENCH_resil.json"
+let scale_artifact_path = "BENCH_scale.json"
 
 let write_json path json =
   Out_channel.with_open_text path (fun oc ->
@@ -117,7 +121,10 @@ let run_sections sections =
           resil_sections :=
             (key, json) :: List.filter (fun (k, _) -> k <> key) !resil_sections;
           write_json resil_artifact_path (Json.Obj (List.rev !resil_sections));
-          Fmt.pr "  (updated %s)@." resil_artifact_path);
+          Fmt.pr "  (updated %s)@." resil_artifact_path
+        | Scale json ->
+          write_json scale_artifact_path json;
+          Fmt.pr "  (wrote %s)@." scale_artifact_path);
         Fmt.pr "  (%s finished in %.1fs)@." id seconds;
         (id, seconds))
       sections

@@ -1220,6 +1220,137 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ dirs $ baseline $ json)
 
+(* --- scale --- *)
+
+(* The sharded flat-state engine from the CLI: time a bulk-synchronous run
+   at the requested n, optionally under the strict round-granular audit
+   and/or a domain-count determinism cross-check. *)
+let scale seed n view_size lower_threshold loss rounds domains shards audit
+    verify_domains =
+  let config = Protocol.make_config ~view_size ~lower_threshold in
+  let make () =
+    Runner.Sharded.create ~shards ~loss_rate:loss ~seed ~n ~config ()
+  in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> max 1 (min shards (Domain.recommended_domain_count ()))
+  in
+  Fmt.pr "sharded run: n=%d s=%d dL=%d shards=%d domains=%d loss=%g seed=%d@." n
+    view_size lower_threshold shards domains loss seed;
+  let failed = ref false in
+  if audit then begin
+    let w = make () in
+    match
+      Sf_check.Invariant.audited_sharded_run ~mode:Sf_check.Invariant.Warn
+        ~scan_every:10 ~domains w ~rounds
+    with
+    | stats ->
+      Fmt.pr "audit: %d rounds checked, %d full scans, %d violations@."
+        stats.Sf_check.Invariant.actions_checked
+        stats.Sf_check.Invariant.full_scans
+        stats.Sf_check.Invariant.violation_count;
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Sf_check.Invariant.pp_violation v)
+        (List.rev stats.Sf_check.Invariant.violations);
+      if stats.Sf_check.Invariant.violation_count > 0 then failed := true
+  end;
+  (match verify_domains with
+  | None -> ()
+  | Some k ->
+    let a = make () and b = make () in
+    Runner.Sharded.run_rounds a ~domains:1 rounds;
+    Runner.Sharded.run_rounds b ~domains:k rounds;
+    let ok = Runner.Sharded.equal a b in
+    Fmt.pr "determinism: %d-domain run %s the 1-domain run@." k
+      (if ok then "bit-identical to" else "DIVERGES from");
+    if not ok then failed := true);
+  let w = make () in
+  let elapsed = Sf_obs.Clock.stopwatch ~clock:Sf_obs.Clock.wall in
+  Runner.Sharded.run_rounds w ~domains rounds;
+  let seconds = elapsed () in
+  let c = Runner.Sharded.world_counters w in
+  let rate =
+    if seconds > 0. then float_of_int c.Runner.actions /. seconds else 0.
+  in
+  Fmt.pr "%d rounds in %.3fs: %.0f actions/s@." rounds seconds rate;
+  Fmt.pr "actions:      %d@." c.Runner.actions;
+  Fmt.pr "self-loops:   %d@." c.Runner.self_loops;
+  Fmt.pr "sends:        %d@." c.Runner.sends;
+  Fmt.pr "duplications: %d@." c.Runner.duplications;
+  Fmt.pr "receipts:     %d@." c.Runner.receipts;
+  Fmt.pr "deletions:    %d@." c.Runner.deletions;
+  Fmt.pr "lost:         %d@." c.Runner.messages_lost;
+  Fmt.pr "mean degree:  %.2f@."
+    (float_of_int (Runner.Sharded.total_edges w) /. float_of_int n);
+  let census = Census.of_flat (Runner.Sharded.store w) in
+  Fmt.pr "census:       %a@." Census.pp census;
+  (match Sf_obs.Clock.peak_rss_kb () with
+  | Some kb -> Fmt.pr "peak RSS:     %d kB@." kb
+  | None -> ());
+  if !failed then exit 1
+
+let scale_cmd =
+  let n =
+    Arg.(
+      value & opt int 100_000
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let view_size =
+    Arg.(
+      value & opt int 16
+      & info [ "s"; "view-size" ] ~docv:"S" ~doc:"View size s (even).")
+  in
+  let lower_threshold =
+    Arg.(
+      value & opt int 4
+      & info [ "dl"; "lower-threshold" ] ~docv:"DL"
+          ~doc:"Lower outdegree threshold dL (even).")
+  in
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"K"
+          ~doc:
+            "Domains to run on (default: the recommended domain count, capped \
+             at the shard count).  Any value produces the same run.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 16
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Logical shard count — part of the world's identity (changing it \
+             changes the run; changing --domains does not).")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "First replay the run under the round-granular invariant audit \
+             (edge-conservation ledger every round, full structural scans); \
+             exit 1 on any violation.")
+  in
+  let verify_domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "verify-domains" ] ~docv:"K"
+          ~doc:
+            "Also run the same world on 1 and on K domains and require \
+             bit-for-bit equality; exit 1 on divergence.")
+  in
+  let doc =
+    "Run the sharded flat-state engine (packed views, OCaml 5 domains, \
+     bulk-synchronous rounds) at large n and report throughput, counters, \
+     dependence census and peak RSS.  Options cross-check the strict \
+     invariant audit and the domain-count determinism contract."
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(
+      const scale $ seed_arg $ n $ view_size $ lower_threshold $ loss_arg
+      $ rounds_arg 10 $ domains $ shards $ audit $ verify_domains)
+
 (* --- main --- *)
 
 let () =
@@ -1249,6 +1380,7 @@ let () =
         spread_cmd;
         top_cmd;
         trace_cmd;
+        scale_cmd;
         analyze_cmd;
       ]
   in

@@ -84,3 +84,32 @@ val audited_run :
   stats
 (** [attach], run [rounds] sequential rounds, final full scan, [detach]
     (also on exception). *)
+
+(** {2 Sharded flat-state audit}
+
+    The bulk-synchronous {!Sf_core.Runner.Sharded} engine has no
+    per-action hook, so its audit moves to round granularity: an edge
+    ledger checked after every round, full structural scans at a
+    configurable cadence. *)
+
+val scan_sharded : ?require_even:bool -> Sf_core.Runner.Sharded.t -> violation list
+(** Full structural scan of a packed world: M1 bounds and parity, cached
+    degrees against slot recounts, global serial uniqueness, the
+    shard-strided serial bound, birth-round bounds, and id range.  Empty
+    means every invariant holds.  O(n × s). *)
+
+val audited_sharded_run :
+  ?mode:mode ->
+  ?scan_every:int ->
+  ?require_even:bool ->
+  ?domains:int ->
+  Sf_core.Runner.Sharded.t ->
+  rounds:int ->
+  stats
+(** Run [rounds] bulk-synchronous rounds, checking after each that the
+    global edge count moved by exactly [2 × accepted duplications − 2 ×
+    dropped non-duplicated messages] (Lemma 6.6's balance at round
+    granularity), with a {!scan_sharded} every [scan_every] rounds
+    (default 10) and at the end.  In the returned {!stats},
+    [actions_checked] counts audited rounds.  Defaults: [Strict] mode,
+    one domain. *)

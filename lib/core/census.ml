@@ -51,6 +51,48 @@ let of_views views =
     alpha;
   }
 
+(* Same labelling over a packed world: one pass per node over the flat
+   slots, no entry materialization.  [seen] is reused across nodes, so the
+   census allocates O(view size) regardless of n. *)
+let of_flat store =
+  let n = View.Flat.node_count store in
+  let s = View.Flat.view_size store in
+  let total = ref 0 in
+  let self_edges = ref 0 in
+  let anchored = ref 0 in
+  let parallel = ref 0 in
+  let dependent = ref 0 in
+  let seen = Hashtbl.create 64 in
+  for u = 0 to n - 1 do
+    Hashtbl.reset seen;
+    for slot = 0 to s - 1 do
+      let id = View.Flat.id_at store u slot in
+      if id >= 0 then begin
+        incr total;
+        let is_self = id = u in
+        let is_anchored = View.Flat.anchor_at store u slot >= 0 in
+        let is_parallel = Hashtbl.mem seen id in
+        Hashtbl.replace seen id ();
+        if is_self then incr self_edges;
+        if is_anchored then incr anchored;
+        if is_parallel then incr parallel;
+        if is_self || is_anchored || is_parallel then incr dependent
+      end
+    done
+  done;
+  let alpha =
+    if !total = 0 then 1.
+    else 1. -. (float_of_int !dependent /. float_of_int !total)
+  in
+  {
+    total_entries = !total;
+    self_edges = !self_edges;
+    anchored = !anchored;
+    parallel_surplus = !parallel;
+    dependent_entries = !dependent;
+    alpha;
+  }
+
 let pp ppf t =
   Fmt.pf ppf "entries=%d self=%d anchored=%d parallel=%d dependent=%d alpha=%.4f"
     t.total_entries t.self_edges t.anchored t.parallel_surplus t.dependent_entries

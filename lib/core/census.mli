@@ -14,4 +14,9 @@ type t = {
 val of_views : (int * View.t) Seq.t -> t
 (** [of_views views] takes (owner id, view) pairs. *)
 
+val of_flat : View.Flat.t -> t
+(** Same labelling over a packed {!View.Flat} world (owner of row [u] is
+    node [u]) without materializing entries — O(view size) allocation at
+    any [n]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -88,8 +88,17 @@ type t = {
   injector : Sf_faults.Injector.t option;
   initial_population : int;
   nodes : (int, Protocol.node) Hashtbl.t;
-  mutable live : Protocol.node array;
-  mutable live_dirty : bool;
+  (* Live array, kept sorted by node id *incrementally*: joins and leaves
+     splice by binary search (one O(n) blit), never a rebuild-and-sort.
+     The former [live_dirty] scheme re-materialized the whole array from
+     the hash table and re-sorted it after every join/leave — O(n log n)
+     per churn event, and hot at scale.  [live_buf] carries slack
+     capacity; [live_snapshot] is the exact-length view handed to
+     callers, re-blitted lazily after a change. *)
+  mutable live_buf : Protocol.node array;
+  mutable live_len : int;
+  mutable live_snapshot : Protocol.node array;
+  mutable live_snapshot_stale : bool;
   mutable next_serial : int;
   mutable actions : int;           (* initiate steps executed *)
   mutable next_node_id : int;
@@ -188,10 +197,47 @@ let handler t node message =
            accepted = (result = Protocol.Accepted);
          })
 
+(* Binary search over the sorted prefix [0, live_len): the index of [id],
+   or the insertion point that keeps the array sorted. *)
+let live_position t id =
+  let lo = ref 0 and hi = ref t.live_len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.live_buf.(mid).Protocol.node_id < id then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let live_insert t node =
+  let id = node.Protocol.node_id in
+  let pos = live_position t id in
+  if pos < t.live_len && t.live_buf.(pos).Protocol.node_id = id then
+    t.live_buf.(pos) <- node
+  else begin
+    if t.live_len = Array.length t.live_buf then begin
+      (* Grow; the tail slack keeps references to whatever node happened
+         to be used as filler, which is fine — only [0, live_len) is live. *)
+      let grown = Array.make (max 8 (2 * t.live_len)) node in
+      Array.blit t.live_buf 0 grown 0 t.live_len;
+      t.live_buf <- grown
+    end;
+    Array.blit t.live_buf pos t.live_buf (pos + 1) (t.live_len - pos);
+    t.live_buf.(pos) <- node;
+    t.live_len <- t.live_len + 1
+  end;
+  t.live_snapshot_stale <- true
+
+let live_remove t id =
+  let pos = live_position t id in
+  if pos < t.live_len && t.live_buf.(pos).Protocol.node_id = id then begin
+    Array.blit t.live_buf (pos + 1) t.live_buf pos (t.live_len - pos - 1);
+    t.live_len <- t.live_len - 1;
+    t.live_snapshot_stale <- true
+  end
+
 let install_node t node =
   Hashtbl.replace t.nodes node.Protocol.node_id node;
   Sf_engine.Network.register t.network node.Protocol.node_id (handler t node);
-  t.live_dirty <- true;
+  live_insert t node;
   Sf_obs.Metrics.set t.live_gauge (float_of_int (Hashtbl.length t.nodes))
 
 let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?audit
@@ -256,8 +302,10 @@ let create ?(latency = Sf_engine.Network.default_latency) ?destination_loss ?aud
       injector;
       initial_population = n;
       nodes = Hashtbl.create (2 * n);
-      live = [||];
-      live_dirty = true;
+      live_buf = [||];
+      live_len = 0;
+      live_snapshot = [||];
+      live_snapshot_stale = false;
       next_serial = 0;
       actions = 0;
       next_node_id = n;
@@ -309,15 +357,15 @@ let live_count t = Hashtbl.length t.nodes
 let network_statistics t = Sf_engine.Network.statistics t.network
 let simulator t = t.sim
 
+(* The array layout is sorted by id, never hash-table iteration order, so
+   random node picks are reproducible; incremental maintenance makes it
+   identical to the historical rebuild-and-sort (ids are unique). *)
 let live_nodes t =
-  if t.live_dirty then begin
-    t.live <- Array.of_seq (Hashtbl.to_seq_values t.nodes);
-    (* Sort by id so the array layout — and hence random node picks — do not
-       depend on hash-table iteration order. *)
-    Array.sort (fun a b -> compare a.Protocol.node_id b.Protocol.node_id) t.live;
-    t.live_dirty <- false
+  if t.live_snapshot_stale || Array.length t.live_snapshot <> t.live_len then begin
+    t.live_snapshot <- Array.sub t.live_buf 0 t.live_len;
+    t.live_snapshot_stale <- false
   end;
-  t.live
+  t.live_snapshot
 
 let find_node t id = Hashtbl.find_opt t.nodes id
 
@@ -494,7 +542,7 @@ let remove_node t id =
   | Some node ->
     Hashtbl.remove t.nodes id;
     Sf_engine.Network.unregister t.network id;
-    t.live_dirty <- true;
+    live_remove t id;
     Sf_obs.Metrics.set t.live_gauge (float_of_int (Hashtbl.length t.nodes));
     trace t (Sf_obs.Trace.Mark { label = "remove_node" });
     emit t (Structural "remove_node");
@@ -879,3 +927,354 @@ let resilience_statistics t =
         recoveries = Sf_resil.Supervisor.recoveries r.supervisor;
       })
     t.resilience
+
+(* --- The sharded flat-state runner (ROADMAP item 1) ---
+
+   The orchestrator above tops out around 1k-10k nodes: one heap object
+   per node, boxed audit/trace plumbing on every action, and a strictly
+   serial action loop.  [Sharded] is the million-node path: the whole
+   world lives in one [View.Flat] store (four contiguous int arrays plus
+   cached degrees — nothing per-node for the GC to walk), and the action
+   loop is a bulk-synchronous variant of the paper's sequential model,
+   partitioned into [shard_count] fixed *logical* shards that OCaml 5
+   domains execute in parallel between deterministic barriers.
+
+   One round = every node initiates exactly once (the paper's section 6.5
+   round is n actions — here the schedule is the deterministic node order
+   rather than n uniform picks; A1 showed degree behaviour is scheduler-
+   robust).  Each round runs two phases:
+
+     I.  initiate: each shard walks its own nodes in id order.  An
+         initiate touches only the initiator's view; surviving messages
+         are appended, flat-encoded, to the per-(source, destination)
+         arena row owned by the source shard.  Loss is drawn at send time
+         from the source shard's stream.
+     II. deliver (after the barrier): each shard drains the arena rows
+         addressed to it — source shards in index order, messages in
+         generation order — applying the S&F receive rule to its own
+         nodes with draws from its own stream.
+
+   Determinism across domain counts is by construction, not by locking:
+   every PRNG draw comes from one of [shard_count] streams split from the
+   root seed in fixed order; each stream is consumed by exactly one
+   logical shard whose work — its own nodes in phase I, a deterministically
+   ordered inbox in phase II — does not depend on how logical shards are
+   packed onto domains.  Serials are minted per shard with stride
+   [shard_count] (shard i mints i, i + S, i + 2S, ...), so minting is
+   collision-free and shard-local.  The only cross-shard data flow is the
+   arena matrix: row [src] is written solely by shard [src] in phase I and
+   read after the barrier, so the spawn/join edges of [Sf_engine.Par] are
+   the only synchronization needed.  Hence any [domains] value replays the
+   [domains = 1] run bit-for-bit — asserted by [equal] in the tests and
+   the SCALE bench.
+
+   The population is fixed (no churn, no fault scenarios): this runner
+   exists to validate the paper's asymptotics — and the O(log n) claims of
+   the related rumor-spreading work — at realistic n. *)
+
+module Sharded = struct
+  module Flat = View.Flat
+
+  (* Growable flat arena of in-flight messages, [fields] ints per message:
+     dst, src, duplicated (0/1), mixing id, mixing serial, mixing born,
+     reinforcement serial.  (The reinforcement id is the source id and
+     both anchors are derived from the duplication flag, so neither is
+     stored; the reinforcement is born in the sending round.) *)
+  type arena = { mutable buf : int array; mutable len : int }
+
+  let fields = 7
+
+  let arena_create () = { buf = Array.make (fields * 64) 0; len = 0 }
+
+  let arena_clear a = a.len <- 0
+
+  let arena_push a ~dst ~src ~dup ~m_id ~m_serial ~m_born ~r_serial =
+    let need = a.len + fields in
+    if need > Array.length a.buf then begin
+      let grown = Array.make (max need (2 * Array.length a.buf)) 0 in
+      Array.blit a.buf 0 grown 0 a.len;
+      a.buf <- grown
+    end;
+    let b = a.buf and i = a.len in
+    b.(i) <- dst;
+    b.(i + 1) <- src;
+    b.(i + 2) <- dup;
+    b.(i + 3) <- m_id;
+    b.(i + 4) <- m_serial;
+    b.(i + 5) <- m_born;
+    b.(i + 6) <- r_serial;
+    a.len <- need
+
+  (* All mutable per-shard state: touched only by the domain currently
+     running this shard, reduced by the coordinator between barriers. *)
+  type shard = {
+    index : int;
+    lo : int;  (* first owned node *)
+    hi : int;  (* one past the last owned node *)
+    rng : Sf_prng.Rng.t;
+    out : arena array;  (* row of the arena matrix: one per destination shard *)
+    mutable minted : int;  (* serials handed out: minted * shard_count + index *)
+    mutable sh_actions : int;
+    mutable sh_self_loops : int;
+    mutable sh_sends : int;
+    mutable sh_duplications : int;
+    mutable sh_receipts : int;
+    mutable sh_deletions : int;
+    mutable sh_lost : int;
+    (* Edge-conservation ledger (Lemma 6.6 at round granularity): a round
+       moves the global edge count by exactly
+       2 * accepted_duplications - 2 * dropped_non_duplicated. *)
+    mutable sh_accepted_dup : int;
+    mutable sh_dropped_nondup : int;
+  }
+
+  type t = {
+    sh_config : Protocol.config;
+    n : int;
+    shard_count : int;
+    chunk : int;  (* nodes per shard; shard of node u is u / chunk *)
+    loss_rate : float;
+    store : Flat.t;
+    shards : shard array;
+    mutable rounds : int;
+  }
+
+  let mint t sh =
+    let serial = (sh.minted * t.shard_count) + sh.index in
+    sh.minted <- sh.minted + 1;
+    serial
+
+  let create ?(shards = 16) ?(loss_rate = 0.) ?init_degree ~seed ~n ~config () =
+    if n < 3 then invalid_arg "Runner.Sharded.create: need at least 3 nodes";
+    if shards < 1 then invalid_arg "Runner.Sharded.create: need at least 1 shard";
+    if loss_rate < 0. || loss_rate >= 1. then
+      invalid_arg "Runner.Sharded.create: loss rate outside [0, 1)";
+    let view_size = config.Protocol.view_size in
+    let d0 =
+      match init_degree with
+      | Some d ->
+        if d < 2 || d > view_size || d >= n || d land 1 = 1 then
+          invalid_arg
+            "Runner.Sharded.create: init_degree must be even, >= 2, <= view \
+             size and < n";
+        d
+      | None ->
+        (* Between dL and s, like the orchestrated runner's default start. *)
+        let d = (view_size + config.Protocol.lower_threshold) / 2 in
+        let d = min d (n - 1) in
+        let d = if d land 1 = 1 then d - 1 else d in
+        max 2 d
+    in
+    let chunk = (n + shards - 1) / shards in
+    let root = Sf_prng.Rng.create seed in
+    let store = Flat.create ~nodes:n ~view_size in
+    (* Streams are split from the root in shard order — explicitly, because
+       the split advances the root and the order is part of the seed
+       contract. *)
+    let shard_list = ref [] in
+    for index = 0 to shards - 1 do
+      let sh =
+        {
+          index;
+          lo = min n (index * chunk);
+          hi = min n ((index + 1) * chunk);
+          rng = Sf_prng.Rng.split root;
+          out = Array.init shards (fun _ -> arena_create ());
+          minted = 0;
+          sh_actions = 0;
+          sh_self_loops = 0;
+          sh_sends = 0;
+          sh_duplications = 0;
+          sh_receipts = 0;
+          sh_deletions = 0;
+          sh_lost = 0;
+          sh_accepted_dup = 0;
+          sh_dropped_nondup = 0;
+        }
+      in
+      shard_list := sh :: !shard_list
+    done;
+    let t =
+      {
+        sh_config = config;
+        n;
+        shard_count = shards;
+        chunk;
+        loss_rate;
+        store;
+        shards = Array.of_list (List.rev !shard_list);
+        rounds = 0;
+      }
+    in
+    (* Deterministic ring start (weakly connected, uniform even outdegree
+       d0 — the section 4 requirement): u points at u+1 .. u+d0 mod n.
+       Installed shard by shard so initial serials are shard-strided like
+       every later mint. *)
+    Array.iter
+      (fun sh ->
+        for u = sh.lo to sh.hi - 1 do
+          for k = 0 to d0 - 1 do
+            Flat.set store u k
+              ~id:((u + k + 1) mod n)
+              ~serial:(mint t sh) ~anchor:(-1) ~born:0
+          done
+        done)
+      t.shards;
+    t
+
+  let shard_of t id = id / t.chunk
+
+  (* Phase I: every owned node initiates once, in id order. *)
+  let initiate_shard t sh =
+    (* The previous round's outbox row has been fully drained (the barrier
+       guarantees it); reclaim it before writing this round's messages. *)
+    Array.iter arena_clear sh.out;
+    let store = t.store in
+    let view_size = t.sh_config.Protocol.view_size in
+    let dl = t.sh_config.Protocol.lower_threshold in
+    let born = t.rounds in
+    for u = sh.lo to sh.hi - 1 do
+      sh.sh_actions <- sh.sh_actions + 1;
+      let i, j = Sf_prng.Rng.distinct_pair sh.rng view_size in
+      let target = Flat.id_at store u i in
+      let forwarded = Flat.id_at store u j in
+      if target < 0 || forwarded < 0 then
+        sh.sh_self_loops <- sh.sh_self_loops + 1
+      else begin
+        let duplicated = Flat.degree store u <= dl in
+        (* Capture the forwarded instance before the slots are cleared. *)
+        let old_serial = Flat.serial_at store u j in
+        let old_born = Flat.born_at store u j in
+        if duplicated then sh.sh_duplications <- sh.sh_duplications + 1
+        else begin
+          Flat.clear store u i;
+          Flat.clear store u j
+        end;
+        let r_serial = mint t sh in
+        let m_serial = if duplicated then mint t sh else old_serial in
+        let m_born = if duplicated then born else old_born in
+        sh.sh_sends <- sh.sh_sends + 1;
+        let lost =
+          t.loss_rate > 0. && Sf_prng.Rng.bernoulli sh.rng t.loss_rate
+        in
+        if lost then begin
+          sh.sh_lost <- sh.sh_lost + 1;
+          if not duplicated then
+            sh.sh_dropped_nondup <- sh.sh_dropped_nondup + 1
+        end
+        else
+          arena_push
+            sh.out.(shard_of t target)
+            ~dst:target ~src:u
+            ~dup:(if duplicated then 1 else 0)
+            ~m_id:forwarded ~m_serial ~m_born ~r_serial
+      end
+    done
+
+  (* Phase II: drain the arena rows addressed to this shard — source
+     shards in index order, messages in generation order — applying the
+     receive rule to owned nodes. *)
+  let deliver_shard t sh =
+    let store = t.store in
+    let view_size = t.sh_config.Protocol.view_size in
+    let born = t.rounds in
+    for src_shard = 0 to t.shard_count - 1 do
+      let a = t.shards.(src_shard).out.(sh.index) in
+      let b = a.buf in
+      let i = ref 0 in
+      while !i < a.len do
+        let dst = b.(!i) in
+        let src = b.(!i + 1) in
+        let dup = b.(!i + 2) in
+        let m_id = b.(!i + 3) in
+        let m_serial = b.(!i + 4) in
+        let m_born = b.(!i + 5) in
+        let r_serial = b.(!i + 6) in
+        sh.sh_receipts <- sh.sh_receipts + 1;
+        if view_size - Flat.degree store dst >= 2 then begin
+          let anchor = if dup = 1 then src else -1 in
+          let slot = Flat.random_empty_slot store dst sh.rng in
+          Flat.set store dst slot ~id:src ~serial:r_serial ~anchor ~born;
+          let slot = Flat.random_empty_slot store dst sh.rng in
+          Flat.set store dst slot ~id:m_id ~serial:m_serial ~anchor
+            ~born:m_born;
+          if dup = 1 then sh.sh_accepted_dup <- sh.sh_accepted_dup + 1
+        end
+        else begin
+          sh.sh_deletions <- sh.sh_deletions + 1;
+          if dup = 0 then sh.sh_dropped_nondup <- sh.sh_dropped_nondup + 1
+        end;
+        i := !i + fields
+      done
+    done
+
+  let run_round t ~domains =
+    Sf_engine.Par.run ~domains ~tasks:t.shard_count (fun i ->
+        initiate_shard t t.shards.(i));
+    Sf_engine.Par.run ~domains ~tasks:t.shard_count (fun i ->
+        deliver_shard t t.shards.(i));
+    t.rounds <- t.rounds + 1
+
+  let run_rounds t ?(domains = 1) rounds =
+    for _ = 1 to rounds do
+      run_round t ~domains
+    done
+
+  let config t = t.sh_config
+  let node_count t = t.n
+  let shard_count t = t.shard_count
+  let rounds_completed t = t.rounds
+  let store t = t.store
+  let total_edges t = Flat.total_edges t.store
+
+  let minted t = Array.map (fun sh -> sh.minted) t.shards
+
+  let conservation t =
+    Array.fold_left
+      (fun (dup, dropped) sh ->
+        (dup + sh.sh_accepted_dup, dropped + sh.sh_dropped_nondup))
+      (0, 0) t.shards
+
+  let world_counters t =
+    Array.fold_left
+      (fun acc sh ->
+        {
+          actions = acc.actions + sh.sh_actions;
+          self_loops = acc.self_loops + sh.sh_self_loops;
+          sends = acc.sends + sh.sh_sends;
+          duplications = acc.duplications + sh.sh_duplications;
+          receipts = acc.receipts + sh.sh_receipts;
+          deletions = acc.deletions + sh.sh_deletions;
+          messages_lost = acc.messages_lost + sh.sh_lost;
+        })
+      {
+        actions = 0;
+        self_loops = 0;
+        sends = 0;
+        duplications = 0;
+        receipts = 0;
+        deletions = 0;
+        messages_lost = 0;
+      }
+      t.shards
+
+  (* Bit-for-bit world equality: the domain-count determinism oracle.
+     Covers the full store (ids, serials, anchors, born stamps, cached
+     degrees), the round clock, and every per-shard counter and mint
+     position. *)
+  let equal a b =
+    a.n = b.n && a.shard_count = b.shard_count && a.rounds = b.rounds
+    && Flat.equal a.store b.store
+    && Array.for_all2
+         (fun (x : shard) (y : shard) ->
+           x.minted = y.minted && x.sh_actions = y.sh_actions
+           && x.sh_self_loops = y.sh_self_loops
+           && x.sh_sends = y.sh_sends
+           && x.sh_duplications = y.sh_duplications
+           && x.sh_receipts = y.sh_receipts
+           && x.sh_deletions = y.sh_deletions
+           && x.sh_lost = y.sh_lost
+           && x.sh_accepted_dup = y.sh_accepted_dup
+           && x.sh_dropped_nondup = y.sh_dropped_nondup)
+         a.shards b.shards
+end

@@ -223,3 +223,86 @@ type resilience_stats = {
 
 val resilience_statistics : t -> resilience_stats option
 (** [None] unless a resilience policy was installed at {!create}. *)
+
+(** {2 Million-node scale: the sharded flat-state runner}
+
+    A second execution engine for the same protocol, built for n in the
+    10{^4}-10{^6} range: the whole world lives in one {!View.Flat} packed
+    store, and rounds run as a bulk-synchronous schedule over a fixed
+    number of logical shards that OCaml 5 domains execute in parallel
+    between deterministic barriers.
+
+    One round = every node initiates exactly once (phase I, per shard in
+    node-id order), a barrier, then every surviving message is delivered
+    (phase II, per destination shard; source shards in index order,
+    messages in generation order).  Each logical shard draws from its own
+    PRNG stream, split from the root seed in shard order, and touches only
+    its own nodes' state — so the run is a pure function of
+    [(seed, n, config, shards, loss_rate)]: any [domains] value replays
+    the single-domain run bit-for-bit ({!Sharded.equal} is the oracle).
+
+    Fixed population, no churn or fault scenarios: this engine validates
+    the paper's degree/connectivity behaviour at realistic scale. *)
+
+module Sharded : sig
+  type t
+
+  val create :
+    ?shards:int ->
+    ?loss_rate:float ->
+    ?init_degree:int ->
+    seed:int ->
+    n:int ->
+    config:Protocol.config ->
+    unit ->
+    t
+  (** Build an [n]-node world on a deterministic ring: node [u] starts
+      pointing at [u+1 .. u+d0] (mod [n]) where [d0] is [init_degree]
+      (must be even, in [2, view_size], below [n]) or an even default
+      between dL and s.  [shards] (default 16) is the {e logical} shard
+      count — part of the world's identity: changing it changes the
+      run, changing the later [domains] argument does not.
+      [loss_rate] must lie in [0, 1).  Raises [Invalid_argument] on
+      out-of-range arguments or [n < 3]. *)
+
+  val run_round : t -> domains:int -> unit
+  (** One bulk-synchronous round: all initiates, barrier, all
+      deliveries, barrier.  [domains] is the physical parallelism used
+      for this round; the result is identical for every value. *)
+
+  val run_rounds : t -> ?domains:int -> int -> unit
+  (** [run_rounds t ~domains r] runs [r] rounds ([domains] defaults
+      to 1). *)
+
+  val config : t -> Protocol.config
+  val node_count : t -> int
+  val shard_count : t -> int
+
+  val rounds_completed : t -> int
+  (** Rounds fully executed so far. *)
+
+  val store : t -> View.Flat.t
+  (** The packed world state (live view: mutated by later rounds). *)
+
+  val total_edges : t -> int
+  (** Global outdegree sum, from the store's cached degrees. *)
+
+  val minted : t -> int array
+  (** Per-shard mint positions: shard [i] has handed out serials
+      [i, i + S, ..., (minted.(i) - 1) * S + i] where [S] is the shard
+      count — every serial stored anywhere is one of these. *)
+
+  val conservation : t -> int * int
+  (** [(accepted_duplications, dropped_non_duplicated)] since creation.
+      Lemma 6.6 at round granularity: the edge total moves by exactly
+      [2 * fst - 2 * snd] relative to the initial ring. *)
+
+  val world_counters : t -> world_counters
+  (** Same counter vocabulary as the orchestrated runner, summed over
+      shards. *)
+
+  val equal : t -> t -> bool
+  (** Bit-for-bit world equality — store contents, round clock, every
+      per-shard counter and mint position.  The determinism oracle for
+      domain-count invariance. *)
+end

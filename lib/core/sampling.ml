@@ -6,31 +6,56 @@
    i.i.d. uniform ids (Properties M3-M5). *)
 
 (* One random peer id from the node's view, excluding (by default) the node
-   itself: self-samples are useless to applications. *)
+   itself: self-samples are useless to applications.
+
+   Allocation-free two-pass scan over the view slots: count the candidates,
+   draw one index, walk to it.  This replaces a list-then-array build per
+   draw — an allocation storm on the facade the traffic harness (ROADMAP
+   item 5) hammers with millions of requests.  The scan walks slots from
+   the highest down and the single [Rng.int] draw has the same bound as
+   the old [Rng.choose] over the fold-reversed candidate list, so the RNG
+   stream and the returned ids are bit-for-bit those of the historical
+   implementation (asserted by an equal-seed test). *)
 let sample ?(allow_self = false) runner rng ~node_id =
   match Runner.find_node runner node_id with
   | None -> None
   | Some node ->
-    let candidates =
-      View.fold
-        (fun acc e ->
-          if allow_self || e.View.id <> node_id then e.View.id :: acc else acc)
-        [] node.Protocol.view
-    in
-    (match candidates with
-    | [] -> None
-    | _ ->
-      let arr = Array.of_list candidates in
-      Some (Sf_prng.Rng.choose rng arr))
+    let view = node.Protocol.view in
+    let last = View.size view - 1 in
+    let candidates = ref 0 in
+    for i = 0 to last do
+      let id = View.id_at view i in
+      if id >= 0 && (allow_self || id <> node_id) then incr candidates
+    done;
+    if !candidates = 0 then None
+    else begin
+      let skip = ref (Sf_prng.Rng.int rng !candidates) in
+      let result = ref (-1) in
+      let i = ref last in
+      while !result < 0 do
+        let id = View.id_at view !i in
+        if id >= 0 && (allow_self || id <> node_id) then
+          if !skip = 0 then result := id else decr skip;
+        decr i
+      done;
+      Some !result
+    end
 
-(* [k] samples with replacement. *)
+(* [k] samples with replacement: exactly [k] independent draws.  A [None]
+   draw (unknown node, or a view with no eligible id) contributes nothing
+   but does not abort the remaining attempts — the historical behaviour
+   returned early on the first failed draw, silently truncating the
+   result below [k] with no signal. *)
 let sample_many ?allow_self runner rng ~node_id ~k =
-  let rec go k acc =
-    if k = 0 then acc
+  let rec go remaining acc =
+    if remaining <= 0 then acc
     else
-      match sample ?allow_self runner rng ~node_id with
-      | None -> acc
-      | Some id -> go (k - 1) (id :: acc)
+      let acc =
+        match sample ?allow_self runner rng ~node_id with
+        | None -> acc
+        | Some id -> id :: acc
+      in
+      go (remaining - 1) acc
   in
   go k []
 

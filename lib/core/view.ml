@@ -12,7 +12,13 @@
      node [a] and is therefore spatially dependent on [a]'s view (Property
      M4).  Forwarding an instance without duplication clears the anchor,
      matching the dependence MC of Fig 7.1.
-   - [born]: global action count at creation, for age statistics. *)
+   - [born]: global action count at creation, for age statistics.
+
+   Representation: four parallel unboxed int arrays (ids, serials, anchors,
+   born stamps) instead of the former [entry option array].  A slot is
+   empty when its id is -1; an anchor of -1 encodes [None].  Nothing is
+   boxed per entry, so a view of s slots is exactly four s-word arrays —
+   the same layout {!Flat} packs contiguously for whole worlds. *)
 
 type entry = {
   id : int;
@@ -22,37 +28,59 @@ type entry = {
 }
 
 type t = {
-  slots : entry option array;
+  ids : int array;      (* -1 = empty slot *)
+  serials : int array;
+  anchors : int array;  (* -1 = no anchor *)
+  born : int array;
   mutable filled : int;  (* cached count of non-empty slots *)
 }
 
 let create size =
   if size < 2 then invalid_arg "View.create: size must be at least 2";
-  { slots = Array.make size None; filled = 0 }
+  {
+    ids = Array.make size (-1);
+    serials = Array.make size 0;
+    anchors = Array.make size (-1);
+    born = Array.make size 0;
+    filled = 0;
+  }
 
-let size t = Array.length t.slots
+let size t = Array.length t.ids
 
 let degree t = t.filled
 (* d(u): the node's outdegree. *)
 
-let is_full t = t.filled = Array.length t.slots
+let is_full t = t.filled = Array.length t.ids
 
-let get t i = t.slots.(i)
+let id_at t i = t.ids.(i)
+
+let get t i =
+  let id = t.ids.(i) in
+  if id < 0 then None
+  else
+    Some
+      {
+        id;
+        serial = t.serials.(i);
+        anchor = (let a = t.anchors.(i) in if a < 0 then None else Some a);
+        born = t.born.(i);
+      }
 
 let set t i entry =
-  (match t.slots.(i) with
-  | None -> t.filled <- t.filled + 1
-  | Some _ -> ());
-  t.slots.(i) <- Some entry
+  if entry.id < 0 then invalid_arg "View.set: negative id";
+  if t.ids.(i) < 0 then t.filled <- t.filled + 1;
+  t.ids.(i) <- entry.id;
+  t.serials.(i) <- entry.serial;
+  t.anchors.(i) <- (match entry.anchor with None -> -1 | Some a -> a);
+  t.born.(i) <- entry.born
 
 let clear t i =
-  match t.slots.(i) with
-  | None -> ()
-  | Some _ ->
-    t.slots.(i) <- None;
+  if t.ids.(i) >= 0 then begin
+    t.ids.(i) <- -1;
     t.filled <- t.filled - 1
+  end
 
-let free_slots t = Array.length t.slots - t.filled
+let free_slots t = Array.length t.ids - t.filled
 
 (* Uniformly random empty slot; the receive step of S&F places ids in
    uniformly chosen empty entries. *)
@@ -62,16 +90,17 @@ let random_empty_slot t rng =
   else begin
     let target = Sf_prng.Rng.int rng free in
     let rec scan i remaining =
-      match t.slots.(i) with
-      | None when remaining = 0 -> i
-      | None -> scan (i + 1) (remaining - 1)
-      | Some _ -> scan (i + 1) remaining
+      if t.ids.(i) < 0 then
+        if remaining = 0 then i else scan (i + 1) (remaining - 1)
+      else scan (i + 1) remaining
     in
     Some (scan 0 target)
   end
 
 let iter f t =
-  Array.iteri (fun i slot -> match slot with Some e -> f i e | None -> ()) t.slots
+  for i = 0 to Array.length t.ids - 1 do
+    match get t i with Some e -> f i e | None -> ()
+  done
 
 let fold f init t =
   let acc = ref init in
@@ -87,12 +116,107 @@ let count_id t id = fold (fun acc e -> if e.id = id then acc + 1 else acc) 0 t
 let entries t = List.rev (fold (fun acc e -> e :: acc) [] t)
 
 let clear_all t =
-  Array.fill t.slots 0 (Array.length t.slots) None;
+  Array.fill t.ids 0 (Array.length t.ids) (-1);
   t.filled <- 0
 
 let pp ppf t =
-  let cell ppf = function
-    | None -> Fmt.pf ppf "."
-    | Some e -> Fmt.pf ppf "%d" e.id
-  in
-  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any " ") cell) t.slots
+  Fmt.pf ppf "[";
+  for i = 0 to size t - 1 do
+    if i > 0 then Fmt.pf ppf " ";
+    if t.ids.(i) < 0 then Fmt.pf ppf "." else Fmt.pf ppf "%d" t.ids.(i)
+  done;
+  Fmt.pf ppf "]"
+
+(* --- Packed whole-world views ---
+
+   The million-node simulation path (ROADMAP item 1) cannot afford one
+   heap object per node, let alone per entry.  [Flat] packs every view of
+   an n-node world into four contiguous unboxed int arrays of length
+   [n * view_size], indexed by [node * view_size + slot], plus a per-node
+   cached degree array.  The encoding matches the single-view layout
+   above: id -1 = empty slot, anchor -1 = no anchor. *)
+
+module Flat = struct
+  type store = {
+    nodes : int;
+    view_size : int;
+    f_ids : int array;      (* nodes * view_size; -1 = empty *)
+    f_serials : int array;
+    f_anchors : int array;  (* -1 = no anchor *)
+    f_born : int array;
+    degrees : int array;    (* per-node cached occupied-slot counts *)
+  }
+
+  type t = store
+
+  let create ~nodes ~view_size =
+    if nodes < 1 then invalid_arg "View.Flat.create: need at least one node";
+    if view_size < 2 then invalid_arg "View.Flat.create: view_size must be at least 2";
+    {
+      nodes;
+      view_size;
+      f_ids = Array.make (nodes * view_size) (-1);
+      f_serials = Array.make (nodes * view_size) 0;
+      f_anchors = Array.make (nodes * view_size) (-1);
+      f_born = Array.make (nodes * view_size) 0;
+      degrees = Array.make nodes 0;
+    }
+
+  let node_count t = t.nodes
+  let view_size t = t.view_size
+  let degree t u = t.degrees.(u)
+
+  let id_at t u slot = t.f_ids.((u * t.view_size) + slot)
+  let serial_at t u slot = t.f_serials.((u * t.view_size) + slot)
+  let anchor_at t u slot = t.f_anchors.((u * t.view_size) + slot)
+  let born_at t u slot = t.f_born.((u * t.view_size) + slot)
+
+  let set t u slot ~id ~serial ~anchor ~born =
+    if id < 0 then invalid_arg "View.Flat.set: negative id";
+    let i = (u * t.view_size) + slot in
+    if t.f_ids.(i) < 0 then t.degrees.(u) <- t.degrees.(u) + 1;
+    t.f_ids.(i) <- id;
+    t.f_serials.(i) <- serial;
+    t.f_anchors.(i) <- anchor;
+    t.f_born.(i) <- born
+
+  let clear t u slot =
+    let i = (u * t.view_size) + slot in
+    if t.f_ids.(i) >= 0 then begin
+      t.f_ids.(i) <- -1;
+      t.degrees.(u) <- t.degrees.(u) - 1
+    end
+
+  (* Uniformly random empty slot of node [u]; -1 when the view is full.
+     Allocation-free: same selection law as {!random_empty_slot}. *)
+  let random_empty_slot t u rng =
+    let free = t.view_size - t.degrees.(u) in
+    if free = 0 then -1
+    else begin
+      let base = u * t.view_size in
+      let target = Sf_prng.Rng.int rng free in
+      let rec scan slot remaining =
+        if t.f_ids.(base + slot) < 0 then
+          if remaining = 0 then slot else scan (slot + 1) (remaining - 1)
+        else scan (slot + 1) remaining
+      in
+      scan 0 target
+    end
+
+  (* Recount of the occupied slots — the audit cross-check for the cached
+     degree array. *)
+  let recount_degree t u =
+    let base = u * t.view_size in
+    let occupied = ref 0 in
+    for slot = 0 to t.view_size - 1 do
+      if t.f_ids.(base + slot) >= 0 then incr occupied
+    done;
+    !occupied
+
+  let total_edges t = Array.fold_left ( + ) 0 t.degrees
+
+  let equal a b =
+    a.nodes = b.nodes && a.view_size = b.view_size && a.f_ids = b.f_ids
+    && a.f_serials = b.f_serials && a.f_anchors = b.f_anchors
+    && a.f_born = b.f_born && a.degrees = b.degrees
+end

@@ -4,7 +4,14 @@
     Instances carry a unique [serial] (followed for decay and temporal
     independence measurements), an optional [anchor] (the node whose view
     the instance depends on, set by duplication — Property M4), and a [born]
-    action stamp. *)
+    action stamp.
+
+    Views are stored flat: four parallel unboxed int arrays rather than an
+    [entry option array], so no per-entry heap objects exist.  {!entry}
+    values are materialized on demand by {!get}/{!iter}/{!fold}; hot paths
+    that only need ids can use the allocation-free {!id_at}.  {!Flat}
+    packs whole worlds of views into single contiguous arrays for the
+    million-node simulation path. *)
 
 type entry = {
   id : int;
@@ -21,7 +28,8 @@ val create : int -> t
 val size : t -> int
 
 val degree : t -> int
-(** d(u): number of non-empty slots. *)
+(** d(u): number of non-empty slots (cached; audited against a recount by
+    [Sf_check]). *)
 
 val is_full : t -> bool
 
@@ -31,6 +39,10 @@ val get : t -> int -> entry option
 val set : t -> int -> entry -> unit
 val clear : t -> int -> unit
 val clear_all : t -> unit
+
+val id_at : t -> int -> int
+(** [id_at t i] is the id in slot [i], or [-1] when the slot is empty.
+    Allocation-free — the sampling facade's hot path. *)
 
 val random_empty_slot : t -> Sf_prng.Rng.t -> int option
 (** Uniformly random empty slot, [None] when full. *)
@@ -48,3 +60,54 @@ val count_id : t -> int -> int
 val entries : t -> entry list
 
 val pp : Format.formatter -> t -> unit
+
+(** Packed whole-world views: every view of an [n]-node world in four
+    contiguous unboxed int arrays indexed by [node * view_size + slot],
+    plus a cached per-node degree array.  A slot is empty when its id is
+    [-1]; an anchor of [-1] encodes "none".  This is the state layout of
+    the sharded runner ({!Sf_core.Runner.Sharded}): no per-node or
+    per-entry heap objects, so a million-node world is a handful of flat
+    arrays the GC never walks. *)
+module Flat : sig
+  type t
+
+  val create : nodes:int -> view_size:int -> t
+  (** All slots empty.  O(nodes * view_size) words, allocated once. *)
+
+  val node_count : t -> int
+  val view_size : t -> int
+
+  val degree : t -> int -> int
+  (** [degree t u]: cached outdegree of node [u]. *)
+
+  val id_at : t -> int -> int -> int
+  (** [id_at t u slot]: id in the slot, or [-1] when empty. *)
+
+  val serial_at : t -> int -> int -> int
+  val anchor_at : t -> int -> int -> int
+  (** [-1] when the instance has no anchor. *)
+
+  val born_at : t -> int -> int -> int
+
+  val set :
+    t -> int -> int -> id:int -> serial:int -> anchor:int -> born:int -> unit
+  (** [set t u slot ~id ~serial ~anchor ~born] installs an instance
+      ([anchor] is [-1] for none).  Raises [Invalid_argument] on a
+      negative id. *)
+
+  val clear : t -> int -> int -> unit
+
+  val random_empty_slot : t -> int -> Sf_prng.Rng.t -> int
+  (** Uniformly random empty slot of node [u], [-1] when full.
+      Allocation-free; same selection law as {!View.random_empty_slot}. *)
+
+  val recount_degree : t -> int -> int
+  (** Occupied-slot recount for node [u] — the audit cross-check for the
+      cached degree array. *)
+
+  val total_edges : t -> int
+  (** Sum of all outdegrees (recomputed from the degree array). *)
+
+  val equal : t -> t -> bool
+  (** Bit-for-bit store equality — the domain-count determinism oracle. *)
+end

@@ -1,0 +1,47 @@
+(* Fork-join execution of an indexed task set across OCaml 5 domains.
+
+   The sharded runner (Sf_core.Runner.Sharded) structures each round as
+   two phases of [shard_count] independent tasks separated by barriers;
+   this shim is the barrier: [run] partitions the task indices into
+   contiguous ranges, executes each range on its own domain, and returns
+   only after every domain has joined.  With [domains = 1] everything runs
+   inline on the calling domain — no spawn, identical semantics.
+
+   Determinism contract: tasks must write only task-owned state (the
+   callers partition arrays by task index), so the only synchronization
+   needed is the happens-before edge of spawn/join that [run] itself
+   provides.  Under that contract the observable result is a pure function
+   of the task bodies, independent of the domain count. *)
+
+let run ~domains ~tasks f =
+  if domains < 1 then invalid_arg "Par.run: need at least one domain";
+  if tasks < 0 then invalid_arg "Par.run: negative task count";
+  if tasks > 0 then begin
+    let d = min domains tasks in
+    if d = 1 then
+      for i = 0 to tasks - 1 do
+        f i
+      done
+    else begin
+      let chunk = (tasks + d - 1) / d in
+      let run_range w =
+        let lo = w * chunk and hi = min tasks ((w + 1) * chunk) in
+        for i = lo to hi - 1 do
+          f i
+        done
+      in
+      let workers =
+        Array.init (d - 1) (fun j -> Domain.spawn (fun () -> run_range (j + 1)))
+      in
+      (* Run the first range inline, then join every worker even if one of
+         them (or the inline range) failed — a leaked domain would outlive
+         the exception.  The first failure, in range order, is re-raised. *)
+      let failure = ref None in
+      let note w = if !failure = None then failure := Some w in
+      (try run_range 0 with e -> note e);
+      Array.iter
+        (fun w -> match Domain.join w with () -> () | exception e -> note e)
+        workers;
+      match !failure with None -> () | Some e -> raise e
+    end
+  end

@@ -1,0 +1,13 @@
+(** Fork-join execution of an indexed task set across OCaml 5 domains —
+    the barrier primitive of the sharded runner. *)
+
+val run : domains:int -> tasks:int -> (int -> unit) -> unit
+(** [run ~domains ~tasks f] executes [f 0 .. f (tasks - 1)], partitioned
+    into contiguous index ranges across at most [domains] domains, and
+    returns once all of them have completed (the barrier).  [domains = 1]
+    runs everything inline on the calling domain.
+
+    Tasks must touch only task-owned state; under that contract the
+    result is independent of [domains].  If any task raises, every domain
+    is still joined and the first failure (in range order) is re-raised.
+    Raises [Invalid_argument] for [domains < 1] or [tasks < 0]. *)

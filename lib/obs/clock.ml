@@ -23,3 +23,30 @@ let cpu = Sys.time
 let stopwatch ~clock =
   let t0 = clock () in
   fun () -> clock () -. t0
+
+(* Peak resident set size, from the kernel's high-water mark (VmHWM in
+   /proc/self/status).  Process introspection, not time, but it lives with
+   the other ambient process probes so the rest of the tree stays pure.
+   [None] where /proc is absent or unparseable (non-Linux). *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec find () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              String.sub line 6 (String.length line - 6)
+              |> String.trim
+              |> String.split_on_char ' '
+              |> fun parts ->
+              (match parts with
+              | kb :: _ -> int_of_string_opt kb
+              | [] -> None)
+            else find ()
+        in
+        find ())

@@ -16,3 +16,7 @@ val cpu : unit -> float
 val stopwatch : clock:(unit -> float) -> unit -> float
 (** [stopwatch ~clock] samples [clock] now and returns a thunk yielding
     the elapsed amount on each call. *)
+
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of this process in kB (the kernel's VmHWM
+    high-water mark); [None] where /proc/self/status is unavailable. *)

@@ -26,4 +26,5 @@ let () =
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("resilience", Test_resil.suite);
+      ("scale", Test_scale.suite);
     ]

@@ -1,0 +1,250 @@
+(* Tests for the million-node scale path: the flat view representation,
+   the Par fork-join shim, the sharded bulk-synchronous runner and its
+   domain-count determinism contract, plus the hot-path fixes that rode
+   along (incremental sorted live array, allocation-free sampling). *)
+
+module Runner = Sf_core.Runner
+module Sharded = Sf_core.Runner.Sharded
+module Protocol = Sf_core.Protocol
+module Topology = Sf_core.Topology
+module View = Sf_core.View
+module Census = Sf_core.Census
+module Sampling = Sf_core.Sampling
+module Invariant = Sf_check.Invariant
+module Rng = Sf_prng.Rng
+
+let small_config = Protocol.make_config ~view_size:12 ~lower_threshold:4
+
+let make_system ?(seed = 21) ?(n = 60) ?(loss = 0.) ?(config = small_config)
+    ?(out_degree = 4) () =
+  let rng = Rng.create (seed + 1000) in
+  let topology = Topology.regular rng ~n ~out_degree in
+  Runner.create ~seed ~n ~loss_rate:loss ~config ~topology ()
+
+(* --- Flat representation: cached degrees vs recount --- *)
+
+(* Mirror a random op sequence onto a boxed view array and a Flat store and
+   require, after every op, that each representation's cached degree equals
+   a full occupied-slot recount and that the two representations agree. *)
+let prop_degrees_match_recount =
+  let nodes = 5 and s = 8 in
+  QCheck.Test.make ~name:"View/Flat cached degrees match recount under ops"
+    ~count:200
+    QCheck.(small_list (triple small_nat small_nat small_nat))
+    (fun ops ->
+      let views = Array.init nodes (fun _ -> View.create s) in
+      let store = View.Flat.create ~nodes ~view_size:s in
+      let check_all () =
+        for u = 0 to nodes - 1 do
+          let boxed = View.degree views.(u) in
+          let recount = ref 0 in
+          for slot = 0 to s - 1 do
+            if View.id_at views.(u) slot >= 0 then incr recount
+          done;
+          if boxed <> !recount then
+            QCheck.Test.fail_reportf "view %d: cached %d <> recount %d" u boxed
+              !recount;
+          let flat = View.Flat.degree store u in
+          if flat <> View.Flat.recount_degree store u then
+            QCheck.Test.fail_reportf "flat %d: cached %d <> recount %d" u flat
+              (View.Flat.recount_degree store u);
+          if flat <> boxed then
+            QCheck.Test.fail_reportf "node %d: flat %d <> boxed %d" u flat boxed
+        done;
+        true
+      in
+      List.for_all
+        (fun (kind, u, slot) ->
+          let u = u mod nodes and slot = slot mod s in
+          (match kind mod 5 with
+          | 0 | 1 | 2 ->
+            let id = u + slot and serial = kind + (u * 100) + slot in
+            View.set views.(u) slot
+              { View.id; serial; anchor = None; born = 0 };
+            View.Flat.set store u slot ~id ~serial ~anchor:(-1) ~born:0
+          | 3 ->
+            View.clear views.(u) slot;
+            View.Flat.clear store u slot
+          | _ ->
+            View.clear_all views.(u);
+            for i = 0 to s - 1 do
+              View.Flat.clear store u i
+            done);
+          check_all ())
+        ops)
+
+(* --- Par: the fork-join shim --- *)
+
+let test_par_determinism () =
+  let fill domains =
+    let out = Array.make 37 0 in
+    Sf_engine.Par.run ~domains ~tasks:37 (fun i -> out.(i) <- (i * i) + 1);
+    out
+  in
+  Alcotest.(check bool) "3 domains = 1 domain" true (fill 1 = fill 3);
+  Alcotest.(check bool) "more domains than tasks" true (fill 1 = fill 64);
+  Alcotest.(check bool)
+    "task failure propagates after joining" true
+    (match Sf_engine.Par.run ~domains:2 ~tasks:6 (fun i ->
+         if i = 4 then failwith "boom")
+     with
+    | () -> false
+    | exception Failure _ -> true)
+
+(* --- Sharded runner: domain-count invariance --- *)
+
+let scale_config = Protocol.make_config ~view_size:12 ~lower_threshold:4
+
+let make_world () =
+  Sharded.create ~shards:8 ~loss_rate:0.1 ~seed:7 ~n:600 ~config:scale_config ()
+
+let test_domain_count_invariance () =
+  let run domains =
+    let w = make_world () in
+    Sharded.run_rounds w ~domains 15;
+    w
+  in
+  let a = run 1 and b = run 2 and c = run 4 in
+  Alcotest.(check bool) "2 domains bit-identical" true (Sharded.equal a b);
+  Alcotest.(check bool) "4 domains bit-identical" true (Sharded.equal a c);
+  let census w = Census.of_flat (Sharded.store w) in
+  Alcotest.(check bool) "census identical" true (census a = census c);
+  Alcotest.(check bool) "counters identical" true
+    (Sharded.world_counters a = Sharded.world_counters c);
+  Alcotest.(check int) "rounds recorded" 15 (Sharded.rounds_completed a)
+
+(* --- Sharded runner: the strict audit holds under loss --- *)
+
+let test_sharded_strict_audit () =
+  let w =
+    Sharded.create ~shards:4 ~loss_rate:0.15 ~seed:11 ~n:400
+      ~config:scale_config ()
+  in
+  let stats =
+    Invariant.audited_sharded_run ~mode:Invariant.Strict ~scan_every:5
+      ~domains:2 w ~rounds:40
+  in
+  Alcotest.(check int) "no violations" 0 stats.Invariant.violation_count;
+  Alcotest.(check int) "all rounds audited" 40 stats.Invariant.actions_checked;
+  Alcotest.(check bool) "scans ran" true (stats.Invariant.full_scans >= 8)
+
+(* Conservation ledger sanity: the audited run checks the per-round
+   deltas; here the end-to-end totals must tie the final edge count back
+   to the initial ring. *)
+let test_edge_ledger_totals () =
+  let w = make_world () in
+  let initial = Sharded.total_edges w in
+  Sharded.run_rounds w ~domains:2 25;
+  let dup, dropped = Sharded.conservation w in
+  Alcotest.(check int) "edges = initial + 2 dup - 2 dropped"
+    (initial + (2 * dup) - (2 * dropped))
+    (Sharded.total_edges w)
+
+(* --- live_nodes: incremental sorted array vs rebuild-and-sort --- *)
+
+let test_live_nodes_incremental () =
+  let r = make_system ~n:50 () in
+  let module IntSet = Set.Make (Int) in
+  let expected = ref IntSet.empty in
+  for id = 0 to 49 do
+    expected := IntSet.add id !expected
+  done;
+  let rng = Rng.create 99 in
+  let check_snapshot () =
+    let got =
+      Array.to_list
+        (Array.map (fun n -> n.Protocol.node_id) (Runner.live_nodes r))
+    in
+    (* The rebuild-and-sort baseline the incremental array must match. *)
+    Alcotest.(check (list int)) "sorted live ids" (IntSet.elements !expected) got
+  in
+  for _ = 1 to 150 do
+    if Rng.bernoulli rng 0.45 && IntSet.cardinal !expected > 5 then begin
+      let live = Runner.live_nodes r in
+      let victim = (Rng.choose rng live).Protocol.node_id in
+      ignore (Runner.remove_node r victim);
+      expected := IntSet.remove victim !expected
+    end
+    else begin
+      let bootstrap = Runner.bootstrap_from r ~count:4 in
+      let id = Runner.add_node r ~bootstrap in
+      expected := IntSet.add id !expected
+    end;
+    check_snapshot ()
+  done;
+  Runner.run_rounds r 5;
+  check_snapshot ()
+
+(* --- Sampling: the allocation-free scan preserves the RNG stream --- *)
+
+(* The historical implementation: fold the candidates into a list (highest
+   slot first), then one [Rng.choose] over the materialized array. *)
+let reference_sample ?(allow_self = false) runner rng ~node_id =
+  match Runner.find_node runner node_id with
+  | None -> None
+  | Some node ->
+    let candidates =
+      View.fold
+        (fun acc e ->
+          if allow_self || e.View.id <> node_id then e.View.id :: acc else acc)
+        [] node.Protocol.view
+    in
+    if candidates = [] then None
+    else Some (Rng.choose rng (Array.of_list candidates))
+
+let test_sample_matches_reference () =
+  let r = make_system ~seed:3 ~n:60 ~loss:0.05 () in
+  Runner.run_rounds r 10;
+  let rng_new = Rng.create 123 and rng_ref = Rng.create 123 in
+  for node_id = 0 to 59 do
+    for _ = 1 to 5 do
+      Alcotest.(check (option int))
+        "same draw"
+        (reference_sample r rng_ref ~node_id)
+        (Sampling.sample r rng_new ~node_id)
+    done
+  done;
+  for node_id = 0 to 9 do
+    Alcotest.(check (option int))
+      "same draw (allow_self)"
+      (reference_sample ~allow_self:true r rng_ref ~node_id)
+      (Sampling.sample ~allow_self:true r rng_new ~node_id)
+  done;
+  (* Equal stream positions afterwards: the rewrite consumed exactly the
+     same randomness. *)
+  Alcotest.(check int) "streams still aligned" (Rng.int rng_ref 1_000_000)
+    (Rng.int rng_new 1_000_000)
+
+let test_sample_many_contract () =
+  let r = make_system ~n:40 () in
+  Runner.run_rounds r 5;
+  let rng = Rng.create 5 in
+  let xs = Sampling.sample_many r rng ~node_id:0 ~k:10 in
+  Alcotest.(check int) "k results on a populated view" 10 (List.length xs);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "valid non-self id" true (id >= 0 && id <> 0))
+    xs;
+  Alcotest.(check (list int))
+    "unknown node: k failed attempts, empty result" []
+    (Sampling.sample_many r rng ~node_id:9999 ~k:5);
+  let lonely = Runner.add_node r ~bootstrap:[] in
+  Alcotest.(check (list int))
+    "empty view: every attempt fails, none aborts" []
+    (Sampling.sample_many r rng ~node_id:lonely ~k:5);
+  Alcotest.(check (list int)) "k = 0" [] (Sampling.sample_many r rng ~node_id:0 ~k:0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_degrees_match_recount;
+    Alcotest.test_case "Par fork-join determinism" `Quick test_par_determinism;
+    Alcotest.test_case "domain-count invariance" `Quick
+      test_domain_count_invariance;
+    Alcotest.test_case "sharded strict audit" `Quick test_sharded_strict_audit;
+    Alcotest.test_case "edge ledger totals" `Quick test_edge_ledger_totals;
+    Alcotest.test_case "incremental live array" `Quick
+      test_live_nodes_incremental;
+    Alcotest.test_case "sample preserves RNG stream" `Quick
+      test_sample_matches_reference;
+    Alcotest.test_case "sample_many contract" `Quick test_sample_many_contract;
+  ]
