@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; CI runs the same three gates.
 
-.PHONY: all build lint analyze test check storm soak obs scale bench clean
+.PHONY: all build lint analyze test check storm soak obs scale storm-scale bench clean
 
 all: lint analyze build test
 
@@ -71,6 +71,19 @@ scale: build
 	dune exec bin/sfg.exe -- scale --n 10000 --rounds 30 --loss 0.05 \
 	  --audit --verify-domains 2
 	dune exec bench/main.exe -- SCALE10
+
+# Chaos-at-scale gate (budget: well under a minute): the sharded engine
+# at n = 10^4 under a mixed GE + partition + crash scenario with churn
+# and the adaptive resilience stack, audited strictly and cross-checked
+# for domain-count determinism, then the SSTORM bench section which
+# writes BENCH_sstorm.json.  Exit codes follow storm/soak: 1 on an audit
+# or determinism failure or a failed verdict, 2 when a declared fault
+# class never engaged.
+storm-scale: build
+	dune exec bin/sfg.exe -- scale --n 10000 --rounds 30 \
+	  --scenario "ge:0.2:8;partition@5-12:2;crash@15-20:0-999" \
+	  --churn 0.01 --headroom 1024 --resilience --audit --verify-domains 2
+	dune exec bench/main.exe -- SSTORM
 
 bench:
 	dune exec bench/main.exe

@@ -24,6 +24,7 @@ type payload =
   | Obs of Json.t  (* the OBS observability payload for BENCH_obs.json *)
   | Resil of string * Json.t  (* one BENCH_resil.json section *)
   | Scale of Json.t  (* the scale ladder, written to BENCH_scale.json *)
+  | Sstorm of Json.t  (* the chaos-at-scale gate, written to BENCH_sstorm.json *)
 
 let quiet f () =
   f ();
@@ -71,12 +72,14 @@ let experiments =
     ("RSOAK", resil Exp_resilience.rsoak);
     ("SCALE", fun () -> Scale (Exp_scale.run ~smoke:false ()));
     ("SCALE10", fun () -> Scale (Exp_scale.run ~smoke:true ()));
+    ("SSTORM", fun () -> Sstorm (Exp_scale.sstorm ()));
     ("SPEED", quiet Speed.run);
   ]
 
 let artifact_path = "BENCH_obs.json"
 let resil_artifact_path = "BENCH_resil.json"
 let scale_artifact_path = "BENCH_scale.json"
+let sstorm_artifact_path = "BENCH_sstorm.json"
 
 let write_json path json =
   Out_channel.with_open_text path (fun oc ->
@@ -124,7 +127,10 @@ let run_sections sections =
           Fmt.pr "  (updated %s)@." resil_artifact_path
         | Scale json ->
           write_json scale_artifact_path json;
-          Fmt.pr "  (wrote %s)@." scale_artifact_path);
+          Fmt.pr "  (wrote %s)@." scale_artifact_path
+        | Sstorm json ->
+          write_json sstorm_artifact_path json;
+          Fmt.pr "  (wrote %s)@." sstorm_artifact_path);
         Fmt.pr "  (%s finished in %.1fs)@." id seconds;
         (id, seconds))
       sections

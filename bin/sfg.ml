@@ -81,17 +81,19 @@ let resilience_policy ~d_hat ~delta () =
   in
   Sf_resil.Policy.make ~solve ()
 
+let print_resilience_stats rs =
+  Fmt.pr
+    "resilience:  loss estimate %.4f (%s, %d windows); %d retunes, %d repair \
+     attempts, %d recoveries@."
+    rs.Runner.loss_estimate
+    (if rs.Runner.estimator_confident then "confident" else "warming up")
+    rs.Runner.estimator_windows rs.Runner.retunes rs.Runner.repair_attempts
+    rs.Runner.recoveries
+
 let print_resilience_statistics r =
   match Runner.resilience_statistics r with
   | None -> ()
-  | Some rs ->
-    Fmt.pr
-      "resilience:  loss estimate %.4f (%s, %d windows); %d retunes, %d repair \
-       attempts, %d recoveries@."
-      rs.Runner.loss_estimate
-      (if rs.Runner.estimator_confident then "confident" else "warming up")
-      rs.Runner.estimator_windows rs.Runner.retunes rs.Runner.repair_attempts
-      rs.Runner.recoveries
+  | Some rs -> print_resilience_stats rs
 
 (* --- Fault scenarios (shared by check and storm) --- *)
 
@@ -111,6 +113,38 @@ let scenario_arg =
            partition@A-B:K (K-way split), crash@A-B:LO-HI (freeze node ids), \
            delay@A-B:F (latency multiplier), corrupt@A-B:R (per-message corruption \
            probability).  Window times A-B are in rounds.")
+
+(* Every fault class a scenario declares must leave evidence in the
+   injector counters.  A silent zero means the fault plan never actually
+   engaged — a misconfigured window or a regressed injector — which is a
+   different failure from an invariant violation, so storm and scale give
+   it its own exit code (2).  Returns the dead classes, empty when the
+   verdict holds. *)
+let dead_fault_classes ~scenario fs =
+  let missing = ref [] in
+  let expect what count = if count = 0 then missing := what :: !missing in
+  (match scenario.Sf_faults.Scenario.loss with
+  | Sf_faults.Loss.Gilbert_elliott _ ->
+    expect "bursty loss declared but zero burst drops"
+      fs.Sf_faults.Injector.burst_drops
+  | Sf_faults.Loss.Iid | Sf_faults.Loss.Per_link _ -> ());
+  let declares kind =
+    List.exists
+      (fun w -> Sf_faults.Scenario.fault_kind w.Sf_faults.Scenario.fault = kind)
+      scenario.Sf_faults.Scenario.windows
+  in
+  if declares "partition" then
+    expect "partition declared but zero partition drops"
+      fs.Sf_faults.Injector.partition_drops;
+  if declares "crash" then
+    expect "crash declared but zero crash drops" fs.Sf_faults.Injector.crash_drops;
+  if declares "corrupt" then
+    expect "corruption declared but zero corruptions"
+      fs.Sf_faults.Injector.corruptions;
+  if scenario.Sf_faults.Scenario.windows <> [] then
+    expect "fault windows declared but zero window transitions"
+      fs.Sf_faults.Injector.fault_transitions;
+  List.rev !missing
 
 let print_fault_statistics fs =
   Fmt.pr
@@ -635,39 +669,13 @@ let storm seed n view_size lower_threshold loss rounds scenario udp_nodes base_p
   (match Runner.fault_statistics r with
   | Some fs -> print_fault_statistics fs
   | None -> ());
-  (* Injector verdict: every fault class the scenario declares must leave
-     evidence in the injector counters.  A silent zero means the fault plan
-     never actually engaged — a misconfigured window or a regressed
-     injector — which is a different failure from an invariant violation,
-     so it gets its own exit code (2). *)
+  (* Injector verdict: see [dead_fault_classes]. *)
   (match Runner.fault_statistics r with
   | None ->
     Fmt.epr "storm: scenario declared but no injector statistics@.";
     exit 2
   | Some fs ->
-    let missing = ref [] in
-    let expect what count = if count = 0 then missing := what :: !missing in
-    (match scenario.Sf_faults.Scenario.loss with
-    | Sf_faults.Loss.Gilbert_elliott _ ->
-      expect "bursty loss declared but zero burst drops" fs.Sf_faults.Injector.burst_drops
-    | Sf_faults.Loss.Iid | Sf_faults.Loss.Per_link _ -> ());
-    let declares kind =
-      List.exists
-        (fun w -> Sf_faults.Scenario.fault_kind w.Sf_faults.Scenario.fault = kind)
-        scenario.Sf_faults.Scenario.windows
-    in
-    if declares "partition" then
-      expect "partition declared but zero partition drops"
-        fs.Sf_faults.Injector.partition_drops;
-    if declares "crash" then
-      expect "crash declared but zero crash drops" fs.Sf_faults.Injector.crash_drops;
-    if declares "corrupt" then
-      expect "corruption declared but zero corruptions"
-        fs.Sf_faults.Injector.corruptions;
-    if scenario.Sf_faults.Scenario.windows <> [] then
-      expect "fault windows declared but zero window transitions"
-        fs.Sf_faults.Injector.fault_transitions;
-    match List.rev !missing with
+    match dead_fault_classes ~scenario fs with
     | [] -> ()
     | failures ->
       List.iter (fun f -> Fmt.epr "storm: injector verdict: %s@." f) failures;
@@ -1223,13 +1231,23 @@ let analyze_cmd =
 (* --- scale --- *)
 
 (* The sharded flat-state engine from the CLI: time a bulk-synchronous run
-   at the requested n, optionally under the strict round-granular audit
-   and/or a domain-count determinism cross-check. *)
+   at the requested n — optionally under a fault scenario, join/leave
+   churn and the adaptive resilience stack — with the strict round-granular
+   audit and/or a domain-count determinism cross-check on demand. *)
 let scale seed n view_size lower_threshold loss rounds domains shards audit
-    verify_domains =
+    verify_domains scenario churn_rate headroom resilience d_hat delta =
   let config = Protocol.make_config ~view_size ~lower_threshold in
+  let churn =
+    if churn_rate > 0. then
+      Some { Runner.Sharded.churn_rate; headroom }
+    else None
+  in
+  let policy () =
+    if resilience then Some (resilience_policy ~d_hat ~delta ()) else None
+  in
   let make () =
-    Runner.Sharded.create ~shards ~loss_rate:loss ~seed ~n ~config ()
+    Runner.Sharded.create ~shards ~loss_rate:loss ?scenario ?churn
+      ?resilience:(policy ()) ~seed ~n ~config ()
   in
   let domains =
     match domains with
@@ -1238,6 +1256,14 @@ let scale seed n view_size lower_threshold loss rounds domains shards audit
   in
   Fmt.pr "sharded run: n=%d s=%d dL=%d shards=%d domains=%d loss=%g seed=%d@." n
     view_size lower_threshold shards domains loss seed;
+  (match scenario with
+  | Some sc -> Fmt.pr "scenario:    %a@." Sf_faults.Scenario.pp sc
+  | None -> ());
+  (match churn with
+  | Some c ->
+    Fmt.pr "churn:       %.3f per round, headroom %d@." c.Runner.Sharded.churn_rate
+      c.Runner.Sharded.headroom
+  | None -> ());
   let failed = ref false in
   if audit then begin
     let w = make () in
@@ -1258,13 +1284,31 @@ let scale seed n view_size lower_threshold loss rounds domains shards audit
   (match verify_domains with
   | None -> ()
   | Some k ->
-    let a = make () and b = make () in
-    Runner.Sharded.run_rounds a ~domains:1 rounds;
-    Runner.Sharded.run_rounds b ~domains:k rounds;
-    let ok = Runner.Sharded.equal a b in
-    Fmt.pr "determinism: %d-domain run %s the 1-domain run@." k
-      (if ok then "bit-identical to" else "DIVERGES from");
-    if not ok then failed := true);
+    let oracle what make =
+      let a = make () and b = make () in
+      Runner.Sharded.run_rounds a ~domains:1 rounds;
+      Runner.Sharded.run_rounds b ~domains:k rounds;
+      let ok = Runner.Sharded.equal a b in
+      Fmt.pr "determinism: %s: %d-domain run %s the 1-domain run@." what k
+        (if ok then "bit-identical to" else "DIVERGES from");
+      if not ok then failed := true
+    in
+    oracle "active config" make;
+    (* The cross-check must also hold where it is hardest: stateful
+       per-shard loss chains, a crash wave and churn all at once.  Run a
+       canned chaos world even when the active config is fault-free. *)
+    let canned =
+      match
+        Sf_faults.Scenario.of_string
+          (Fmt.str "ge:0.2:8;crash@2-6:0-%d" (max 1 (n / 10) - 1))
+      with
+      | Ok sc -> sc
+      | Error e -> invalid_arg ("scale: canned chaos scenario: " ^ e)
+    in
+    oracle "canned chaos" (fun () ->
+        Runner.Sharded.create ~shards ~seed ~n ~config ~scenario:canned
+          ~churn:{ Runner.Sharded.churn_rate = 0.01; headroom = shards * 8 }
+          ()));
   let w = make () in
   let elapsed = Sf_obs.Clock.stopwatch ~clock:Sf_obs.Clock.wall in
   Runner.Sharded.run_rounds w ~domains rounds;
@@ -1285,9 +1329,40 @@ let scale seed n view_size lower_threshold loss rounds domains shards audit
     (float_of_int (Runner.Sharded.total_edges w) /. float_of_int n);
   let census = Census.of_flat (Runner.Sharded.store w) in
   Fmt.pr "census:       %a@." Census.pp census;
+  (match Runner.Sharded.fault_statistics w with
+  | Some fs -> print_fault_statistics fs
+  | None -> ());
+  (match churn with
+  | Some _ ->
+    let cs = Runner.Sharded.churn_statistics w in
+    Fmt.pr
+      "churn:       %d joins, %d leaves, %d donor-starved skips, %d deliveries \
+       to dead slots; %d live@."
+      cs.Runner.Sharded.joins cs.Runner.Sharded.leaves
+      cs.Runner.Sharded.join_skips cs.Runner.Sharded.deliveries_to_dead
+      (Runner.Sharded.live_count w)
+  | None -> ());
+  (match Runner.Sharded.resilience_statistics w with
+  | Some rs ->
+    print_resilience_stats rs;
+    let dl, s = Runner.Sharded.live_thresholds w in
+    Fmt.pr "thresholds:  dL=%d s=%d@." dl s
+  | None -> ());
   (match Sf_obs.Clock.peak_rss_kb () with
   | Some kb -> Fmt.pr "peak RSS:     %d kB@." kb
   | None -> ());
+  (* Injector verdict, matching storm's exit-code convention. *)
+  (match (scenario, Runner.Sharded.fault_statistics w) with
+  | None, _ -> ()
+  | Some _, None ->
+    Fmt.epr "scale: scenario declared but no injector statistics@.";
+    exit 2
+  | Some sc, Some fs ->
+    (match dead_fault_classes ~scenario:sc fs with
+    | [] -> ()
+    | failures ->
+      List.iter (fun f -> Fmt.epr "scale: injector verdict: %s@." f) failures;
+      exit 2));
   if !failed then exit 1
 
 let scale_cmd =
@@ -1337,19 +1412,51 @@ let scale_cmd =
       value & opt (some int) None
       & info [ "verify-domains" ] ~docv:"K"
           ~doc:
-            "Also run the same world on 1 and on K domains and require \
-             bit-for-bit equality; exit 1 on divergence.")
+            "Run the active world AND a canned chaos world (bursty loss, a \
+             crash wave, churn) on 1 and on K domains and require bit-for-bit \
+             equality; exit 1 on divergence.")
+  in
+  let churn_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "churn" ] ~docv:"RATE"
+          ~doc:
+            "Per-round leave probability of each live node; every leave is \
+             matched by a join, keeping the population stationary under RATE \
+             turnover.")
+  in
+  let headroom =
+    Arg.(
+      value & opt int 1024
+      & info [ "headroom" ] ~docv:"SLOTS"
+          ~doc:
+            "Extra node slots for churn beyond n (depth of the id-reuse \
+             delay), rounded up to a multiple of the shard count.")
+  in
+  let resilience =
+    Arg.(
+      value & flag
+      & info [ "resilience" ]
+          ~doc:
+            "Run the adaptive resilience stack at round barriers: loss \
+             estimation, threshold retuning and supervised connectivity \
+             repair.")
   in
   let doc =
     "Run the sharded flat-state engine (packed views, OCaml 5 domains, \
      bulk-synchronous rounds) at large n and report throughput, counters, \
-     dependence census and peak RSS.  Options cross-check the strict \
-     invariant audit and the domain-count determinism contract."
+     dependence census and peak RSS.  Options add fault scenarios, churn and \
+     the adaptive resilience stack, and cross-check the strict invariant \
+     audit and the domain-count determinism contract.  Exit status: 1 on an \
+     audit or determinism failure, 2 when a declared fault class left no \
+     evidence in the injector counters."
   in
   Cmd.v (Cmd.info "scale" ~doc)
     Term.(
       const scale $ seed_arg $ n $ view_size $ lower_threshold $ loss_arg
-      $ rounds_arg 10 $ domains $ shards $ audit $ verify_domains)
+      $ rounds_arg 10 $ domains $ shards $ audit $ verify_domains
+      $ scenario_arg $ churn_rate $ headroom $ resilience $ d_hat_arg
+      $ delta_arg)
 
 (* --- main --- *)
 

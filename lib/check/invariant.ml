@@ -316,7 +316,7 @@ module Flat = View.Flat
    c times), birth times within the round clock, and id range. *)
 let scan_sharded ?(require_even = true) w =
   let store = Sharded.store w in
-  let n = Flat.node_count store in
+  let cap = Flat.node_count store in
   let s = Flat.view_size store in
   let shard_count = Sharded.shard_count w in
   let minted = Sharded.minted w in
@@ -324,7 +324,16 @@ let scan_sharded ?(require_even = true) w =
   let seen = Hashtbl.create 4096 in
   let violations = ref [] in
   let record v = violations := v :: !violations in
-  for u = 0 to n - 1 do
+  for u = 0 to cap - 1 do
+    if not (Sharded.is_live w u) then begin
+      (* Dead slots (departed nodes, unused headroom) must hold nothing:
+         leaves clear the view before recycling the slot. *)
+      if Flat.degree store u <> 0 then
+        record
+          (violation "dead-slot-empty" "dead slot %d still has outdegree %d" u
+             (Flat.degree store u))
+    end
+    else begin
     let d = Flat.degree store u in
     if d < 0 || d > s then
       record
@@ -340,9 +349,12 @@ let scan_sharded ?(require_even = true) w =
     for slot = 0 to s - 1 do
       let id = Flat.id_at store u slot in
       if id >= 0 then begin
-        if id >= n then
+        (* Live views may reference dead ids (stale entries decay through
+           the protocol), but never ids outside the allocated slot range. *)
+        if id >= cap then
           record
-            (violation "id-bound" "node %d holds id %d outside [0, %d)" u id n);
+            (violation "id-bound" "node %d holds id %d outside [0, %d)" u id
+               cap);
         let serial = Flat.serial_at store u slot in
         (match Hashtbl.find_opt seen serial with
         | Some owner ->
@@ -367,6 +379,7 @@ let scan_sharded ?(require_even = true) w =
                rounds)
       end
     done
+    end
   done;
   List.rev !violations
 
@@ -374,8 +387,10 @@ let scan_sharded ?(require_even = true) w =
    audit hook (actions are not serialized), so the external checks move to
    round granularity: after every round, the global edge count must have
    moved by exactly 2 * accepted duplications - 2 * dropped non-duplicated
-   messages (Lemma 6.6's balance — loss and deletion each retire a
-   non-duplicated pair, duplication accepted at the receiver adds one);
+   messages + churn edges added - churn edges removed (Lemma 6.6's balance
+   extended for chaos — loss, crash/partition drops and deletion each
+   retire a non-duplicated pair, duplication accepted at the receiver adds
+   one, joins/leaves/rebootstraps move edges out of band);
    every [scan_every] rounds (and at the end) a full structural scan runs.
    The dL rule itself is enforced by construction inside the round loop
    and re-verified here through its footprint: parity plus the edge
@@ -407,14 +422,22 @@ let audited_sharded_run ?(mode = Strict) ?(scan_every = 10)
     List.iter report (scan_sharded ~require_even w)
   in
   let edges = ref (Sharded.total_edges w) in
-  let dup, dropped = Sharded.conservation w in
-  let dup = ref dup and dropped = ref dropped in
+  let prev = ref (Sharded.ledger w) in
   for r = 1 to rounds do
     Sharded.run_round w ~domains;
     stats.actions_checked <- stats.actions_checked + 1;
     let edges' = Sharded.total_edges w in
-    let dup', dropped' = Sharded.conservation w in
-    let expected = 2 * (dup' - !dup) - (2 * (dropped' - !dropped)) in
+    let l = Sharded.ledger w in
+    (* The extended Lemma 6.6 balance: duplication/loss/deletion move
+       edges in pairs; joins and supervised rebootstraps create edges out
+       of band, leaves and rebootstraps destroy them (crashes freeze nodes
+       and only drop messages, so they have no term of their own). *)
+    let expected =
+      (2 * (l.Sharded.accepted_duplications - !prev.Sharded.accepted_duplications))
+      - (2 * (l.Sharded.dropped_non_duplicated - !prev.Sharded.dropped_non_duplicated))
+      + (l.Sharded.churn_edges_added - !prev.Sharded.churn_edges_added)
+      - (l.Sharded.churn_edges_removed - !prev.Sharded.churn_edges_removed)
+    in
     if edges' - !edges <> expected then
       report
         (violation "edge-conservation"
@@ -422,8 +445,7 @@ let audited_sharded_run ?(mode = Strict) ?(scan_every = 10)
            (Sharded.rounds_completed w)
            !edges edges' expected);
     edges := edges';
-    dup := dup';
-    dropped := dropped';
+    prev := l;
     if scan_every > 0 && r mod scan_every = 0 then full_scan ()
   done;
   if scan_every <= 0 || rounds mod scan_every <> 0 || rounds = 0 then

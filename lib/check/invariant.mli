@@ -95,8 +95,11 @@ val audited_run :
 val scan_sharded : ?require_even:bool -> Sf_core.Runner.Sharded.t -> violation list
 (** Full structural scan of a packed world: M1 bounds and parity, cached
     degrees against slot recounts, global serial uniqueness, the
-    shard-strided serial bound, birth-round bounds, and id range.  Empty
-    means every invariant holds.  O(n × s). *)
+    shard-strided serial bound, birth-round bounds, id range, and — under
+    churn — emptiness of every dead slot.  Live views may hold stale
+    references to departed ids (they decay through the protocol); dead
+    slots must hold nothing.  Empty means every invariant holds.
+    O(capacity × s). *)
 
 val audited_sharded_run :
   ?mode:mode ->
@@ -108,8 +111,10 @@ val audited_sharded_run :
   stats
 (** Run [rounds] bulk-synchronous rounds, checking after each that the
     global edge count moved by exactly [2 × accepted duplications − 2 ×
-    dropped non-duplicated messages] (Lemma 6.6's balance at round
-    granularity), with a {!scan_sharded} every [scan_every] rounds
-    (default 10) and at the end.  In the returned {!stats},
+    dropped non-duplicated messages + churn edges added − churn edges
+    removed] (Lemma 6.6's balance at round granularity, extended for
+    joins, leaves and supervised rebootstraps — crash and partition drops
+    land in the dropped term), with a {!scan_sharded} every [scan_every]
+    rounds (default 10) and at the end.  In the returned {!stats},
     [actions_checked] counts audited rounds.  Defaults: [Strict] mode,
     one domain. *)

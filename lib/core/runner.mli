@@ -238,19 +238,62 @@ val resilience_statistics : t -> resilience_stats option
     messages in generation order).  Each logical shard draws from its own
     PRNG stream, split from the root seed in shard order, and touches only
     its own nodes' state — so the run is a pure function of
-    [(seed, n, config, shards, loss_rate)]: any [domains] value replays
-    the single-domain run bit-for-bit ({!Sharded.equal} is the oracle).
+    [(seed, n, config, shards, loss_rate, scenario, churn, resilience)]:
+    any [domains] value replays the single-domain run bit-for-bit
+    ({!Sharded.equal} is the oracle).
 
-    Fixed population, no churn or fault scenarios: this engine validates
-    the paper's degree/connectivity behaviour at realistic scale. *)
+    The full robustness stack runs under the same contract: crash and
+    partition windows are recomputed from the round clock at the barrier,
+    stateful loss chains live per shard, churn turns the population over
+    on per-shard free lists (an extra churn phase precedes phase I), and
+    the resilience layer estimates/retunes/repairs at the barrier after
+    phase II — see {!Sharded.create}. *)
 
 module Sharded : sig
   type t
+
+  type churn = {
+    churn_rate : float;
+        (** per-round leave probability of each live node; every leave is
+            matched by a join in the same shard, so the population is
+            stationary with [churn_rate] turnover *)
+    headroom : int;
+        (** extra node slots beyond [n], rounded up to a multiple of the
+            shard count and strided across shards ([n + c*S + i] belongs
+            to shard [i]); depth of the id-reuse delay *)
+  }
+
+  type churn_stats = {
+    joins : int;
+    leaves : int;
+    join_skips : int;
+        (** joins skipped because the shard had no live donor left *)
+    deliveries_to_dead : int;
+        (** messages that arrived at a departed node's slot *)
+  }
+
+  type ledger = {
+    accepted_duplications : int;
+    dropped_non_duplicated : int;
+    churn_edges_added : int;
+        (** edges installed out of band by joins and rebootstraps *)
+    churn_edges_removed : int;
+        (** edges cleared out of band by leaves and rebootstraps *)
+  }
+  (** The extended Lemma 6.6 balance: since creation the edge total has
+      moved by exactly [2*accepted_duplications - 2*dropped_non_duplicated
+      + churn_edges_added - churn_edges_removed].  Crashes freeze nodes
+      but destroy edges only through the messages they drop, so they need
+      no term of their own. *)
 
   val create :
     ?shards:int ->
     ?loss_rate:float ->
     ?init_degree:int ->
+    ?scenario:Sf_faults.Scenario.t ->
+    ?churn:churn ->
+    ?resilience:Sf_resil.Policy.t ->
+    ?probe_every:int ->
     seed:int ->
     n:int ->
     config:Protocol.config ->
@@ -262,8 +305,21 @@ module Sharded : sig
       between dL and s.  [shards] (default 16) is the {e logical} shard
       count — part of the world's identity: changing it changes the
       run, changing the later [domains] argument does not.
-      [loss_rate] must lie in [0, 1).  Raises [Invalid_argument] on
-      out-of-range arguments or [n < 3]. *)
+      [loss_rate] must lie in [0, 1).
+
+      [scenario] runs crash/partition windows and stateful loss (the
+      Gilbert–Elliott chain state is split per shard, so every domain
+      count replays the same run); [Delay]/[Corrupt] windows are
+      rejected — the engine has no latency model and no wire bytes.
+      [churn] adds per-round join/leave turnover on per-shard free lists.
+      [resilience] runs the estimator/controller/supervisor stack at the
+      barrier after each round, probing the overlay every [probe_every]
+      (default 8) rounds when recovery is enabled.  All three are part of
+      the world's identity; omitting them replays the historical
+      scenario-free engine bit-for-bit.
+
+      Raises [Invalid_argument] on out-of-range arguments, unsupported
+      windows, or [n < 3]. *)
 
   val run_round : t -> domains:int -> unit
   (** One bulk-synchronous round: all initiates, barrier, all
@@ -275,14 +331,28 @@ module Sharded : sig
       to 1). *)
 
   val config : t -> Protocol.config
+
   val node_count : t -> int
+  (** The initial population [n] (also the partition block base). *)
+
+  val capacity : t -> int
+  (** Node slots in the store: [n] plus the rounded churn headroom. *)
+
   val shard_count : t -> int
 
   val rounds_completed : t -> int
   (** Rounds fully executed so far. *)
 
   val store : t -> View.Flat.t
-  (** The packed world state (live view: mutated by later rounds). *)
+  (** The packed world state (live view: mutated by later rounds).  Its
+      node count is {!capacity}; dead slots have empty views. *)
+
+  val is_live : t -> int -> bool
+  (** Is this node slot currently occupied by a live node?  (Without
+      churn, exactly the ids in [0, n).) *)
+
+  val live_count : t -> int
+  (** Live nodes across all shards. *)
 
   val total_edges : t -> int
   (** Global outdegree sum, from the store's cached degrees. *)
@@ -293,16 +363,36 @@ module Sharded : sig
       count — every serial stored anywhere is one of these. *)
 
   val conservation : t -> int * int
-  (** [(accepted_duplications, dropped_non_duplicated)] since creation.
-      Lemma 6.6 at round granularity: the edge total moves by exactly
-      [2 * fst - 2 * snd] relative to the initial ring. *)
+  (** [(accepted_duplications, dropped_non_duplicated)] since creation —
+      the first two ledger components (see {!ledger} for the churn
+      terms). *)
+
+  val ledger : t -> ledger
+  (** The full extended edge ledger since creation. *)
+
+  val churn_statistics : t -> churn_stats
+  (** Join/leave bookkeeping (all zero without churn). *)
+
+  val fault_statistics : t -> Sf_faults.Injector.stats option
+  (** Injector-vocabulary fault evidence — judged sends, chance/burst/
+      partition/crash drops, window transitions — or [None] when the
+      world runs without a scenario.  Corruptions are always 0 here. *)
+
+  val resilience_statistics : t -> resilience_stats option
+  (** Estimator/controller/supervisor state, or [None] when the world
+      runs without a resilience policy. *)
+
+  val live_thresholds : t -> int * int
+  (** The (dL, s) currently in force (identical across shards; retunes
+      rewrite all shards at a barrier). *)
 
   val world_counters : t -> world_counters
   (** Same counter vocabulary as the orchestrated runner, summed over
       shards. *)
 
   val equal : t -> t -> bool
-  (** Bit-for-bit world equality — store contents, round clock, every
-      per-shard counter and mint position.  The determinism oracle for
-      domain-count invariance. *)
+  (** Bit-for-bit world equality — store contents, round clock, alive
+      map, window state, free-list positions, loss-chain states, live
+      thresholds, every per-shard counter and mint position.  The
+      determinism oracle for domain-count invariance. *)
 end

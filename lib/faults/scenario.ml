@@ -33,10 +33,6 @@ let validate_window w =
     if rate < 0. || rate > 1. || Float.is_nan rate then
       invalid_arg (Fmt.str "Scenario: corruption rate %g outside [0,1]" rate)
 
-let make ?(loss = Loss.Iid) ?(windows = []) () =
-  List.iter validate_window windows;
-  { loss; windows }
-
 (* --- Rendering --- *)
 
 let fault_to_string = function
@@ -53,6 +49,40 @@ let fault_kind = function
 
 let window_to_string w =
   Fmt.str "%s@%g-%g:%s" (fault_kind w.fault) w.start w.stop (fault_to_string w.fault)
+
+(* List-level validation: windows of the same class are allowed to overlap
+   in time — active partitions compose by OR, delay factors multiply,
+   corruption takes the max, and the recovery tests pin that semantics —
+   {e except} when both windows carry a node range ([Crash]) and the
+   ranges intersect too: two crash windows freezing an overlapping id
+   range over an overlapping interval are almost always a typo for one
+   window, and the "resume at window end" rule would silently wake nodes
+   the other window still holds down. *)
+let validate_windows windows =
+  List.iter validate_window windows;
+  let times_overlap a b = a.start < b.stop && b.start < a.stop in
+  let rec pairwise = function
+    | [] -> ()
+    | w :: rest ->
+      List.iter
+        (fun w' ->
+          match (w.fault, w'.fault) with
+          | Crash { first; last }, Crash { first = first'; last = last' }
+            when times_overlap w w' && first <= last' && first' <= last ->
+            invalid_arg
+              (Fmt.str
+                 "Scenario: crash windows %s and %s overlap in time on \
+                  intersecting node ranges"
+                 (window_to_string w) (window_to_string w'))
+          | _ -> ())
+        rest;
+      pairwise rest
+  in
+  pairwise windows
+
+let make ?(loss = Loss.Iid) ?(windows = []) () =
+  validate_windows windows;
+  { loss; windows }
 
 let loss_to_string = function
   | Loss.Iid -> "iid"
@@ -89,26 +119,27 @@ let parse_range name s =
     Ok (lo, hi)
   | _ -> Error (Fmt.str "%s: expected LO-HI, got %S" name s)
 
+(* Structural parsing only: shapes and number syntax.  All semantic range
+   checks (empty windows, parts < 2, inverted crash ranges, ...) run
+   through {!validate_window} below, so parsing and programmatic
+   construction share one validation path and one set of messages. *)
 let parse_fault kind params =
   match kind with
   | "partition" ->
     let* parts = parse_int "partition parts" params in
-    if parts < 2 then Error (Fmt.str "partition: need >= 2 parts, got %d" parts)
-    else Ok (Partition { parts })
+    Ok (Partition { parts })
   | "crash" ->
     let* first, last = parse_range "crash range" params in
-    if first < 0 || last < first then
-      Error (Fmt.str "crash: bad node range %d-%d" first last)
-    else Ok (Crash { first; last })
+    Ok (Crash { first; last })
   | "delay" ->
     let* factor = parse_float "delay factor" params in
-    if factor > 0. then Ok (Delay { factor })
-    else Error (Fmt.str "delay: factor %g not positive" factor)
+    Ok (Delay { factor })
   | "corrupt" ->
     let* rate = parse_float "corruption rate" params in
-    if rate >= 0. && rate <= 1. then Ok (Corrupt { rate })
-    else Error (Fmt.str "corrupt: rate %g outside [0,1]" rate)
+    Ok (Corrupt { rate })
   | other -> Error (Fmt.str "unknown fault kind %S" other)
+
+let checked f = match f () with v -> Ok v | exception Invalid_argument m -> Error m
 
 let parse_window item =
   match split_on '@' item with
@@ -123,12 +154,10 @@ let parse_window item =
           Ok (start, stop)
         | _ -> Error (Fmt.str "window times: expected START-STOP, got %S" times)
       in
-      if start < 0. then Error (Fmt.str "window start %g negative" start)
-      else if not (stop > start) then
-        Error (Fmt.str "window [%g, %g) is empty" start stop)
-      else
-        let* fault = parse_fault kind params in
-        Ok { start; stop; fault }
+      let* fault = parse_fault kind params in
+      let w = { start; stop; fault } in
+      let* () = checked (fun () -> validate_window w) in
+      Ok w
     | _ -> Error (Fmt.str "window %S: expected KIND@START-STOP:PARAMS" item))
   | _ -> Error (Fmt.str "item %S: expected KIND@START-STOP:PARAMS" item)
 
@@ -150,7 +179,10 @@ let parse_loss item =
 let of_string s =
   let items = split_on ';' s |> List.filter (fun i -> i <> "") in
   let rec go loss windows = function
-    | [] -> Ok { loss = Option.value loss ~default:Loss.Iid; windows = List.rev windows }
+    | [] ->
+      let windows = List.rev windows in
+      let* () = checked (fun () -> validate_windows windows) in
+      Ok { loss = Option.value loss ~default:Loss.Iid; windows }
     | item :: rest -> (
       match parse_loss item with
       | Some (Error e) -> Error e

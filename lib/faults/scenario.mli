@@ -56,10 +56,17 @@ val default : t
 val make : ?loss:Loss.model -> ?windows:window list -> unit -> t
 (** Validating constructor.  Raises [Invalid_argument] on a malformed
     window (negative times, [stop <= start], [parts < 2], [last < first],
-    non-positive delay factor, corruption rate outside [0,1]). *)
+    non-positive delay factor, corruption rate outside [0,1]), or when two
+    crash windows overlap in time {e and} their node ranges intersect.
+    Same-class windows without a node range may overlap freely: active
+    partitions compose by OR, delay factors multiply, corruption takes the
+    max. *)
 
 val of_string : string -> (t, string) result
-(** Parse the textual syntax above.  At most one loss item is allowed. *)
+(** Parse the textual syntax above.  At most one loss item is allowed.
+    Every window passes through {!validate_window} (and the crash-overlap
+    check of {!make}), so parsed and programmatically built scenarios
+    share one validation path and one set of error messages. *)
 
 val to_string : t -> string
 (** Render a scenario back to the textual syntax ([Per_link] loss, which

@@ -112,6 +112,88 @@ let test_scenario_rejects_malformed () =
       "bogus" (* unknown item *);
     ]
 
+(* --- Validation unification: parse errors come from validate_window --- *)
+
+(* Parsing is structural only; every semantic range check routes through
+   [validate_window], so the parser's error messages are the validator's
+   messages verbatim. *)
+let test_parse_errors_from_validate_window () =
+  let error s =
+    match Scenario.of_string s with
+    | Ok _ -> Alcotest.fail (Fmt.str "accepted %S" s)
+    | Error e -> e
+  in
+  let validator_message w =
+    match Scenario.validate_window w with
+    | () -> Alcotest.fail "validator accepted a malformed window"
+    | exception Invalid_argument m -> m
+  in
+  Alcotest.(check string)
+    "empty window: parser = validator"
+    (validator_message
+       { Scenario.start = 20.; stop = 10.; fault = Scenario.Partition { parts = 2 } })
+    (error "partition@20-10:2");
+  Alcotest.(check string)
+    "one-part partition: parser = validator"
+    (validator_message
+       { Scenario.start = 0.; stop = 10.; fault = Scenario.Partition { parts = 1 } })
+    (error "partition@0-10:1");
+  Alcotest.(check string)
+    "inverted crash range: parser = validator"
+    (validator_message
+       { Scenario.start = 0.; stop = 10.; fault = Scenario.Crash { first = 5; last = 2 } })
+    (error "crash@0-10:5-2");
+  Alcotest.(check string)
+    "zero-length window: parser = validator"
+    (validator_message
+       { Scenario.start = 7.; stop = 7.; fault = Scenario.Delay { factor = 2. } })
+    (error "delay@7-7:2")
+
+(* --- Crash-window overlap rejection --- *)
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let test_crash_overlap_rejected () =
+  (* Time overlap and node-range overlap together: rejected, with both
+     windows named in the message. *)
+  (match Scenario.of_string "crash@0-10:0-5;crash@5-15:3-8" with
+  | Ok _ -> Alcotest.fail "accepted overlapping crash windows"
+  | Error e ->
+    Alcotest.(check bool)
+      (Fmt.str "message mentions the overlap (%s)" e)
+      true
+      (contains_sub ~sub:"overlap" e));
+  (* The same rule through the programmatic constructor. *)
+  (match
+     Scenario.make
+       ~windows:
+         [
+           { Scenario.start = 0.; stop = 10.; fault = Scenario.Crash { first = 0; last = 5 } };
+           { Scenario.start = 5.; stop = 15.; fault = Scenario.Crash { first = 3; last = 8 } };
+         ]
+       ()
+   with
+  | _ -> Alcotest.fail "make accepted overlapping crash windows"
+  | exception Invalid_argument e ->
+    Alcotest.(check bool) "make names the overlap" true
+      (contains_sub ~sub:"overlap" e));
+  (* Disjoint node ranges: allowed even when the times overlap. *)
+  (match Scenario.of_string "crash@0-10:0-5;crash@5-15:6-9" with
+  | Ok sc -> Alcotest.(check int) "two windows kept" 2 (List.length sc.Scenario.windows)
+  | Error e -> Alcotest.fail ("rejected disjoint-range crashes: " ^ e));
+  (* Disjoint times: allowed even on the same node range. *)
+  (match Scenario.of_string "crash@0-10:0-5;crash@10-20:0-5" with
+  | Ok sc -> Alcotest.(check int) "back-to-back kept" 2 (List.length sc.Scenario.windows)
+  | Error e -> Alcotest.fail ("rejected back-to-back crashes: " ^ e));
+  (* Same-class windows without a node range still compose freely — the
+     overlapping-partition recovery test depends on this. *)
+  match Scenario.of_string "partition@5-60:2;partition@40-105:3" with
+  | Ok sc -> Alcotest.(check int) "overlapping partitions kept" 2 (List.length sc.Scenario.windows)
+  | Error e -> Alcotest.fail ("rejected overlapping partitions: " ^ e)
+
 (* --- Injector verdicts --- *)
 
 let test_injector_verdicts () =
@@ -358,6 +440,10 @@ let suite =
     Alcotest.test_case "scenario round-trips" `Quick test_scenario_roundtrip;
     Alcotest.test_case "scenario rejects malformed input" `Quick
       test_scenario_rejects_malformed;
+    Alcotest.test_case "parse errors come from validate_window" `Quick
+      test_parse_errors_from_validate_window;
+    Alcotest.test_case "overlapping crash windows are rejected" `Quick
+      test_crash_overlap_rejected;
     Alcotest.test_case "injector verdicts (partition, corrupt)" `Quick
       test_injector_verdicts;
     Alcotest.test_case "injector verdicts (crash)" `Quick test_injector_crash;

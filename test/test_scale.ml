@@ -140,6 +140,151 @@ let test_edge_ledger_totals () =
     (initial + (2 * dup) - (2 * dropped))
     (Sharded.total_edges w)
 
+(* --- Chaos at scale: scenario + churn + resilience on the sharded engine --- *)
+
+let scenario s =
+  match Sf_faults.Scenario.of_string s with
+  | Ok sc -> sc
+  | Error e -> Alcotest.fail ("scenario parse: " ^ e)
+
+(* The section 6.3 solver the production drivers inject. *)
+let chaos_policy () =
+  let solve ~loss =
+    let t =
+      Sf_analysis.Thresholds.select_lossy ~d_hat:8 ~delta:0.01
+        ~loss:(Float.min loss 0.45)
+    in
+    (t.Sf_analysis.Thresholds.lower_threshold, t.Sf_analysis.Thresholds.view_size)
+  in
+  Sf_resil.Policy.make ~estimator_window:1000 ~cooldown:4 ~solve ()
+
+(* Bursty loss, a two-way partition, and a crash wave over the first
+   tenth of the ring — the mixed regime the robustness issue targets. *)
+let mixed_scenario () = scenario "ge:0.2:6;partition@4-9:2;crash@11-15:0-59"
+let chaos_churn = { Sharded.churn_rate = 0.02; headroom = 64 }
+
+let make_chaos_world ?resilience () =
+  Sharded.create ~shards:8 ~seed:13 ~n:600 ~config:scale_config
+    ~scenario:(mixed_scenario ()) ~churn:chaos_churn ?resilience ~probe_every:4
+    ()
+
+(* The headline determinism contract under chaos: with per-shard loss
+   chains, barrier-time windows, shard-local churn and barrier-only
+   resilience, the domain count must still be invisible. *)
+let test_chaos_domain_invariance () =
+  let run domains =
+    let w = make_chaos_world ~resilience:(chaos_policy ()) () in
+    Sharded.run_rounds w ~domains 20;
+    w
+  in
+  let a = run 1 and b = run 2 and c = run 4 in
+  Alcotest.(check bool) "2 domains bit-identical" true (Sharded.equal a b);
+  Alcotest.(check bool) "4 domains bit-identical" true (Sharded.equal a c);
+  let census w = Census.of_flat (Sharded.store w) in
+  Alcotest.(check bool) "census identical" true (census a = census c);
+  Alcotest.(check bool) "counters identical" true
+    (Sharded.world_counters a = Sharded.world_counters c);
+  (* The run actually exercised every fault class. *)
+  (match Sharded.fault_statistics a with
+  | None -> Alcotest.fail "scenario installed but no fault statistics"
+  | Some fs ->
+    let open Sf_faults.Injector in
+    Alcotest.(check bool) "chance drops" true (fs.chance_drops > 0);
+    Alcotest.(check bool) "burst drops" true (fs.burst_drops > 0);
+    Alcotest.(check bool) "partition drops" true (fs.partition_drops > 0);
+    Alcotest.(check bool) "crash drops" true (fs.crash_drops > 0));
+  let cs = Sharded.churn_statistics a in
+  Alcotest.(check bool) "churn happened" true (cs.Sharded.joins > 0)
+
+(* The strict audit — extended ledger, dead-slot emptiness, M1 + parity —
+   holds through the whole mixed regime. *)
+let test_chaos_strict_audit () =
+  let w = make_chaos_world ~resilience:(chaos_policy ()) () in
+  let stats =
+    Invariant.audited_sharded_run ~mode:Invariant.Strict ~scan_every:5
+      ~domains:2 w ~rounds:40
+  in
+  Alcotest.(check int) "no violations" 0 stats.Invariant.violation_count;
+  Alcotest.(check int) "all rounds audited" 40 stats.Invariant.actions_checked;
+  Alcotest.(check bool) "scans ran" true (stats.Invariant.full_scans >= 8)
+
+(* Per-shard Gilbert-Elliott chains at n = 10k: the empirical loss over
+   the whole run converges to the injector's configured stationary mean,
+   and a visible share of the drops lands inside bursts. *)
+let test_ge_stationary_mean () =
+  let w =
+    Sharded.create ~shards:16 ~seed:5 ~n:10_000 ~config:scale_config
+      ~scenario:(scenario "ge:0.2:8") ()
+  in
+  Sharded.run_rounds w ~domains:4 30;
+  let wc = Sharded.world_counters w in
+  let observed =
+    float_of_int wc.Runner.messages_lost /. float_of_int wc.Runner.sends
+  in
+  Alcotest.(check bool)
+    (Fmt.str "observed %.4f within 0.02 of 0.2" observed)
+    true
+    (Float.abs (observed -. 0.2) < 0.02);
+  match Sharded.fault_statistics w with
+  | None -> Alcotest.fail "scenario installed but no fault statistics"
+  | Some fs ->
+    let open Sf_faults.Injector in
+    Alcotest.(check bool) "bursty drops recorded" true
+      (fs.burst_drops > 0 && fs.burst_drops <= fs.chance_drops)
+
+(* Churn end-to-end: the extended ledger ties the final edge count back
+   to the initial ring, and one join per leave keeps the population
+   stationary (up to donor-starved skips, which never fire at this n). *)
+let test_churn_ledger_totals () =
+  let w =
+    Sharded.create ~shards:8 ~seed:19 ~n:600 ~config:scale_config
+      ~churn:{ Sharded.churn_rate = 0.05; headroom = 80 }
+      ()
+  in
+  let initial = Sharded.total_edges w in
+  Sharded.run_rounds w ~domains:2 30;
+  let l = Sharded.ledger w in
+  Alcotest.(check int)
+    "edges = initial + 2 dup - 2 dropped + added - removed"
+    (initial
+    + (2 * l.Sharded.accepted_duplications)
+    - (2 * l.Sharded.dropped_non_duplicated)
+    + l.Sharded.churn_edges_added - l.Sharded.churn_edges_removed)
+    (Sharded.total_edges w);
+  let cs = Sharded.churn_statistics w in
+  Alcotest.(check bool) "turnover happened" true (cs.Sharded.leaves > 50);
+  Alcotest.(check int) "one join per un-starved leave"
+    (cs.Sharded.leaves - cs.Sharded.join_skips)
+    cs.Sharded.joins;
+  Alcotest.(check int) "population stationary"
+    (600 - cs.Sharded.join_skips)
+    (Sharded.live_count w)
+
+(* Observe-only resilience consumes no randomness and never acts, so the
+   chaotic world replays bit-for-bit against a policy-free twin while
+   still producing a loss estimate. *)
+let test_observe_only_resilience_identity () =
+  let run resilience =
+    let w = make_chaos_world ?resilience () in
+    Sharded.run_rounds w ~domains:2 20;
+    w
+  in
+  let plain = run None
+  and obs = run (Some (Sf_resil.Policy.observe_only ())) in
+  Alcotest.(check bool) "worlds bit-identical" true (Sharded.equal plain obs);
+  Alcotest.(check bool) "thresholds untouched" true
+    (Sharded.live_thresholds obs = (4, 12));
+  (match Sharded.resilience_statistics plain with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no policy installed but statistics reported");
+  match Sharded.resilience_statistics obs with
+  | None -> Alcotest.fail "observer installed but no statistics"
+  | Some rs ->
+    Alcotest.(check int) "no retunes" 0 rs.Runner.retunes;
+    Alcotest.(check int) "no repairs" 0 rs.Runner.repair_attempts;
+    Alcotest.(check bool) "estimator saw the loss" true
+      (rs.Runner.loss_estimate > 0.)
+
 (* --- live_nodes: incremental sorted array vs rebuild-and-sort --- *)
 
 let test_live_nodes_incremental () =
@@ -242,6 +387,13 @@ let suite =
       test_domain_count_invariance;
     Alcotest.test_case "sharded strict audit" `Quick test_sharded_strict_audit;
     Alcotest.test_case "edge ledger totals" `Quick test_edge_ledger_totals;
+    Alcotest.test_case "chaos domain-count invariance" `Quick
+      test_chaos_domain_invariance;
+    Alcotest.test_case "chaos strict audit" `Quick test_chaos_strict_audit;
+    Alcotest.test_case "GE stationary mean at 10k" `Slow test_ge_stationary_mean;
+    Alcotest.test_case "churn ledger totals" `Quick test_churn_ledger_totals;
+    Alcotest.test_case "observe-only resilience identity" `Quick
+      test_observe_only_resilience_identity;
     Alcotest.test_case "incremental live array" `Quick
       test_live_nodes_incremental;
     Alcotest.test_case "sample preserves RNG stream" `Quick
