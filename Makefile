@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; CI runs the same three gates.
 
-.PHONY: all build lint analyze test check storm soak obs scale storm-scale bench clean
+.PHONY: all build lint analyze test check storm soak obs scale storm-scale spread bench clean
 
 all: lint analyze build test
 
@@ -84,6 +84,18 @@ storm-scale: build
 	  --scenario "ge:0.2:8;partition@5-12:2;crash@15-20:0-999" \
 	  --churn 0.01 --headroom 1024 --resilience --audit --verify-domains 2
 	dune exec bench/main.exe -- SSTORM
+
+# Dissemination gate (budget: well under a minute): a push-pull rumor
+# spread over live views at n = 10^4 under bursty loss with the
+# domain-count determinism cross-check, then the SPREAD10 bench section
+# — the strategy x loss grid at n = 10^3, 10^4 with the coverage,
+# log2-envelope and direct-beats-push checks — which writes
+# BENCH_spread.json.  The full ladder to n = 10^6 is
+# `dune exec bench/main.exe -- SPREAD`.
+spread: build
+	dune exec bin/sfg.exe -- spread --strategy push-pull --n 10000 \
+	  --scenario "ge:0.2:8" --verify-domains
+	dune exec bench/main.exe -- SPREAD10
 
 bench:
 	dune exec bench/main.exe

@@ -178,7 +178,7 @@ let dissemination () =
   Runner.run_rounds r 200;
   let rng = Sf_prng.Rng.create 403 in
   let sf_trace =
-    Sf_core.Dissemination.spread r rng ~fanout:2 ~loss_rate:0.05 ~source:0 ()
+    Sf_spread.Dissemination.spread r rng ~fanout:2 ~loss_rate:0.05 ~source:0 ()
   in
   (* Ring views: an S&F-shaped system that never runs the protocol, views
      fixed to ring neighbors. *)
@@ -194,14 +194,14 @@ let dissemination () =
      report both the crawl before healing (early coverage) and the healed
      spread. *)
   let ring_trace =
-    Sf_core.Dissemination.spread ring ring_rng ~fanout:2 ~loss_rate:0.05 ~source:0 ()
+    Sf_spread.Dissemination.spread ring ring_rng ~fanout:2 ~loss_rate:0.05 ~source:0 ()
   in
-  let show name (t : Sf_core.Dissemination.trace) =
+  let show name (t : Sf_spread.Dissemination.trace) =
     [
       name;
-      (match t.Sf_core.Dissemination.rounds_to_half with Some r -> Output.i r | None -> ">200");
-      (match t.Sf_core.Dissemination.rounds_to_all with Some r -> Output.i r | None -> ">200");
-      Output.i t.Sf_core.Dissemination.pushes;
+      (match t.Sf_spread.Dissemination.rounds_to_half with Some r -> Output.i r | None -> ">200");
+      (match t.Sf_spread.Dissemination.rounds_to_all with Some r -> Output.i r | None -> ">200");
+      Output.i t.Sf_spread.Dissemination.pushes;
     ]
   in
   Output.table
@@ -209,18 +209,18 @@ let dissemination () =
     [ show "S&F steady state" sf_trace; show "ring start (healing)" ring_trace ];
   Output.subsection "coverage curve (S&F views)";
   Sf_stats.Ascii_plot.series Fmt.stdout
-    ("infected fraction", sf_trace.Sf_core.Dissemination.coverage);
-  (match sf_trace.Sf_core.Dissemination.rounds_to_all with
+    ("infected fraction", sf_trace.Sf_spread.Dissemination.coverage);
+  (match sf_trace.Sf_spread.Dissemination.rounds_to_all with
   | Some rounds ->
     Output.check
       (Fmt.str "rumor reaches 99%% in %d rounds ~ O(log n) (log2 1000 = 10)" rounds)
       (rounds <= 30)
   | None -> Output.check "rumor reaches 99%" false);
   let sf_half =
-    Option.value ~default:max_int sf_trace.Sf_core.Dissemination.rounds_to_half
+    Option.value ~default:max_int sf_trace.Sf_spread.Dissemination.rounds_to_half
   in
   let ring_half =
-    Option.value ~default:max_int ring_trace.Sf_core.Dissemination.rounds_to_half
+    Option.value ~default:max_int ring_trace.Sf_spread.Dissemination.rounds_to_half
   in
   Output.check "S&F views spread at least as fast as the healing ring"
     (sf_half <= ring_half)

@@ -25,6 +25,7 @@ type payload =
   | Resil of string * Json.t  (* one BENCH_resil.json section *)
   | Scale of Json.t  (* the scale ladder, written to BENCH_scale.json *)
   | Sstorm of Json.t  (* the chaos-at-scale gate, written to BENCH_sstorm.json *)
+  | Spread of Json.t  (* the dissemination grid, written to BENCH_spread.json *)
 
 let quiet f () =
   f ();
@@ -73,6 +74,8 @@ let experiments =
     ("SCALE", fun () -> Scale (Exp_scale.run ~smoke:false ()));
     ("SCALE10", fun () -> Scale (Exp_scale.run ~smoke:true ()));
     ("SSTORM", fun () -> Sstorm (Exp_scale.sstorm ()));
+    ("SPREAD", fun () -> Spread (Exp_spread.run ~smoke:false ()));
+    ("SPREAD10", fun () -> Spread (Exp_spread.run ~smoke:true ()));
     ("SPEED", quiet Speed.run);
   ]
 
@@ -80,6 +83,7 @@ let artifact_path = "BENCH_obs.json"
 let resil_artifact_path = "BENCH_resil.json"
 let scale_artifact_path = "BENCH_scale.json"
 let sstorm_artifact_path = "BENCH_sstorm.json"
+let spread_artifact_path = "BENCH_spread.json"
 
 let write_json path json =
   Out_channel.with_open_text path (fun oc ->
@@ -130,7 +134,10 @@ let run_sections sections =
           Fmt.pr "  (wrote %s)@." scale_artifact_path
         | Sstorm json ->
           write_json sstorm_artifact_path json;
-          Fmt.pr "  (wrote %s)@." sstorm_artifact_path);
+          Fmt.pr "  (wrote %s)@." sstorm_artifact_path
+        | Spread json ->
+          write_json spread_artifact_path json;
+          Fmt.pr "  (wrote %s)@." spread_artifact_path);
         Fmt.pr "  (%s finished in %.1fs)@." id seconds;
         (id, seconds))
       sections

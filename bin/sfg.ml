@@ -985,33 +985,246 @@ let sessions_cmd =
 
 (* --- spread --- *)
 
-let spread seed n view_size lower_threshold loss fanout =
-  let r = make_runner ~seed ~n ~view_size ~lower_threshold ~loss () in
-  Runner.run_rounds r 150;
-  let rng = Sf_prng.Rng.create (seed + 6) in
-  let trace =
-    Sf_core.Dissemination.spread r rng ~fanout ~loss_rate:loss ~source:0 ()
-  in
-  (match trace.Sf_core.Dissemination.rounds_to_half with
+let strategy_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Sf_spread.Strategy.of_string s) in
+  Arg.conv ~docv:"STRATEGY" (parse, Sf_spread.Strategy.pp)
+
+let print_spread_report n (r : Sf_spread.Report.t) =
+  (match r.Sf_spread.Report.rounds_to_half with
   | Some rounds -> Fmt.pr "rounds to 50%%: %d@." rounds
   | None -> Fmt.pr "rounds to 50%%: not reached@.");
-  (match trace.Sf_core.Dissemination.rounds_to_all with
-  | Some rounds -> Fmt.pr "rounds to 99%%: %d  (log2 n = %.1f)@." rounds
-                     (log (float_of_int n) /. log 2.)
-  | None -> Fmt.pr "rounds to 99%%: not reached@.");
-  Fmt.pr "pushes: %d@." trace.Sf_core.Dissemination.pushes;
+  (match r.Sf_spread.Report.rounds_to_target with
+  | Some rounds ->
+    Fmt.pr "rounds to target: %d  (log2 n = %.1f)@." rounds
+      (log (float_of_int n) /. log 2.)
+  | None -> Fmt.pr "rounds to target: not reached@.");
+  Fmt.pr "messages: %d (pushes %d, requests %d), duplicates %d, lost %d, to \
+          dead slots %d@."
+    r.Sf_spread.Report.messages r.Sf_spread.Report.pushes
+    r.Sf_spread.Report.requests r.Sf_spread.Report.duplicates
+    r.Sf_spread.Report.lost r.Sf_spread.Report.to_dead;
   Sf_stats.Ascii_plot.series Fmt.stdout
-    ("infected fraction per round", trace.Sf_core.Dissemination.coverage)
+    ("live coverage per round", r.Sf_spread.Report.coverage)
+
+(* The sequential engine: rumor over an orchestrated runner's views. *)
+let spread_sequential ~seed ~n ~view_size ~lower_threshold ~loss ~scenario
+    ~warmup ~strategy ~fanout ~target ~max_rounds =
+  let r = make_runner ?scenario ~seed ~n ~view_size ~lower_threshold ~loss () in
+  Runner.run_rounds r warmup;
+  let rng = Sf_prng.Rng.create (seed + 6) in
+  Sf_spread.Sequential.run ~coverage_target:target ~max_rounds ~strategy
+    ~fanout ~source:0 r rng
+
+(* The flat engine: rumor layered on the sharded million-node runner. *)
+let spread_flat ~seed ~n ~view_size ~lower_threshold ~loss ~scenario ~churn
+    ~shards ~domains ~warmup ~strategy ~fanout ~target ~max_rounds ()
+  =
+  let config = Protocol.make_config ~view_size ~lower_threshold in
+  (* The scattered start mixes in O(log n) rounds; the ring start would
+     keep the rumor crawling a 1-D cycle for thousands of rounds. *)
+  let w =
+    Runner.Sharded.create ~shards ~loss_rate:loss ~init:Runner.Sharded.Scatter
+      ?scenario ?churn ~seed ~n ~config ()
+  in
+  Runner.Sharded.run_rounds w ~domains warmup;
+  let sp =
+    Sf_spread.Flat.create ~coverage_target:target ~fanout ~strategy ~source:0
+      ~seed:(seed + 6) w
+  in
+  let report = Sf_spread.Flat.run ~max_rounds ~domains sp in
+  (sp, report)
+
+let spread seed n view_size lower_threshold loss scenario churn_rate headroom
+    shards domains verify_domains seq warmup strategy fanout target max_rounds
+    =
+  let churn =
+    if churn_rate > 0. then Some { Runner.Sharded.churn_rate; headroom }
+    else None
+  in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> max 1 (min shards (Domain.recommended_domain_count ()))
+  in
+  Fmt.pr "spread: %a fanout=%d n=%d target=%.2f loss=%g seed=%d %s@."
+    Sf_spread.Strategy.pp strategy fanout n target loss seed
+    (if seq then "(sequential engine)"
+     else Fmt.str "shards=%d domains=%d" shards domains);
+  (match scenario with
+  | Some sc -> Fmt.pr "scenario: %a@." Sf_faults.Scenario.pp sc
+  | None -> ());
+  let failed = ref false in
+  let report =
+    if seq then
+      spread_sequential ~seed ~n ~view_size ~lower_threshold ~loss ~scenario
+        ~warmup ~strategy ~fanout ~target ~max_rounds
+    else begin
+      (* Domain-count invariance of the layered engines: replay the whole
+         run (membership + spread) on 1, 2 and 4 domains and require
+         bit-for-bit equal end states. *)
+      if verify_domains then
+        List.iter
+          (fun k ->
+            let run () =
+              spread_flat ~seed ~n ~view_size ~lower_threshold ~loss ~scenario
+                ~churn ~shards ~domains:k ~warmup ~strategy ~fanout ~target
+                ~max_rounds ()
+            in
+            let sp1, r1 =
+              spread_flat ~seed ~n ~view_size ~lower_threshold ~loss ~scenario
+                ~churn ~shards ~domains:1 ~warmup ~strategy ~fanout ~target
+                ~max_rounds ()
+            in
+            let spk, rk = run () in
+            let ok =
+              Sf_spread.Flat.equal sp1 spk && Sf_spread.Report.equal r1 rk
+            in
+            Fmt.pr "determinism: %d-domain spread %s the 1-domain spread@." k
+              (if ok then "bit-identical to" else "DIVERGES from");
+            if not ok then failed := true)
+          [ 2; 4 ];
+      let sp, report =
+        spread_flat ~seed ~n ~view_size ~lower_threshold ~loss ~scenario ~churn
+          ~shards ~domains ~warmup ~strategy ~fanout ~target ~max_rounds ()
+      in
+      (* Injector verdict over the world's own traffic, matching storm's
+         exit-code convention. *)
+      (match
+         (scenario, Runner.Sharded.fault_statistics (Sf_spread.Flat.world sp))
+       with
+      | None, _ -> ()
+      | Some _, None ->
+        Fmt.epr "spread: scenario declared but no injector statistics@.";
+        exit 2
+      | Some sc, Some fs ->
+        (match dead_fault_classes ~scenario:sc fs with
+        | [] -> ()
+        | failures ->
+          List.iter (fun f -> Fmt.epr "spread: injector verdict: %s@." f) failures;
+          exit 2));
+      report
+    end
+  in
+  print_spread_report n report;
+  if not (Sf_spread.Report.reached report) then begin
+    Fmt.epr "spread: coverage target %.2f not reached in %d rounds@." target
+      max_rounds;
+    failed := true
+  end;
+  if !failed then exit 1
 
 let spread_cmd =
-  let fanout =
-    Arg.(value & opt int 2 & info [ "fanout" ] ~docv:"K" ~doc:"Pushes per infected node per round.")
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Sf_spread.Strategy.Push
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Spreading discipline: $(b,push) (informed nodes push to view \
+             samples), $(b,push-pull) (uninformed nodes also pull — O(log n) \
+             completion even under constant loss), or $(b,direct) (messages \
+             carry learned addresses; informed nodes contact them directly, \
+             outside the current view, and never re-contact recent peers).")
   in
-  let doc = "Spread a rumor over the evolving views (push epidemic)." in
+  let fanout =
+    Arg.(
+      value & opt int 2
+      & info [ "fanout" ] ~docv:"K"
+          ~doc:"Spread messages per node per round.")
+  in
+  let n =
+    Arg.(
+      value & opt int 10_000
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let view_size =
+    Arg.(
+      value & opt int 16
+      & info [ "s"; "view-size" ] ~docv:"S" ~doc:"View size s (even).")
+  in
+  let lower_threshold =
+    Arg.(
+      value & opt int 4
+      & info [ "dl"; "lower-threshold" ] ~docv:"DL"
+          ~doc:"Lower outdegree threshold dL (even).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 16
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Logical shard count of the flat engine — part of the run's \
+             identity (changing it changes the run; changing --domains does \
+             not).")
+  in
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"K"
+          ~doc:
+            "Domains to run on (default: the recommended domain count, capped \
+             at the shard count).  Any value produces the same run.")
+  in
+  let verify_domains =
+    Arg.(
+      value & flag
+      & info [ "verify-domains" ]
+          ~doc:
+            "Replay the whole run (membership + spread) on 1, 2 and 4 domains \
+             and require bit-for-bit equal end states; exit 1 on divergence.")
+  in
+  let seq =
+    Arg.(
+      value & flag
+      & info [ "seq" ]
+          ~doc:
+            "Use the sequential engine (orchestrated runner) instead of the \
+             sharded flat-state engine.")
+  in
+  let churn_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "churn" ] ~docv:"RATE"
+          ~doc:
+            "Per-round leave probability of each live node (flat engine); \
+             every leave is matched by a join.")
+  in
+  let headroom =
+    Arg.(
+      value & opt int 1024
+      & info [ "headroom" ] ~docv:"SLOTS"
+          ~doc:"Extra node slots for churn beyond n (flat engine).")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 20
+      & info [ "warmup" ] ~docv:"R"
+          ~doc:"Membership rounds to run before the rumor starts.")
+  in
+  let target =
+    Arg.(
+      value & opt float 0.99
+      & info [ "target" ] ~docv:"F" ~doc:"Live-coverage target in (0, 1].")
+  in
+  let max_rounds =
+    Arg.(
+      value & opt int 200
+      & info [ "max-rounds" ] ~docv:"R"
+          ~doc:"Spreading-round budget.")
+  in
+  let doc =
+    "Spread a rumor over the live, evolving S&F views — push, push-pull or \
+     direct-addressed — on the sequential or the sharded million-node \
+     engine, under the shared fault pipeline (bursty loss, partitions, \
+     crashes) and churn.  Exit status: 1 when the coverage target is not \
+     reached or a determinism cross-check fails, 2 when a declared fault \
+     class left no evidence in the injector counters."
+  in
   Cmd.v (Cmd.info "spread" ~doc)
     Term.(
-      const spread $ seed_arg $ n_arg $ view_size_arg $ lower_threshold_arg $ loss_arg
-      $ fanout)
+      const spread $ seed_arg $ n $ view_size $ lower_threshold $ loss_arg
+      $ scenario_arg $ churn_rate $ headroom $ shards $ domains
+      $ verify_domains $ seq $ warmup $ strategy $ fanout $ target $ max_rounds)
 
 (* --- top --- *)
 

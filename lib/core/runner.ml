@@ -355,6 +355,8 @@ let action_count t = t.actions
 let minted_serials t = t.next_serial
 let live_count t = Hashtbl.length t.nodes
 let network_statistics t = Sf_engine.Network.statistics t.network
+let loss_rate t = Sf_engine.Network.loss_rate t.network
+let injector t = t.injector
 let simulator t = t.sim
 
 (* The array layout is sorted by id, never hash-table iteration order, so
@@ -872,7 +874,7 @@ let resil_tick t =
     let deletions = Sf_obs.Metrics.count t.total_deletions in
     Sf_resil.Estimator.observe r.estimator ~sends:(sends - r.last_sends)
       ~duplications:(duplications - r.last_duplications)
-      ~deletions:(deletions - r.last_deletions);
+      ~deletions:(deletions - r.last_deletions) ();
     r.last_sends <- sends;
     r.last_duplications <- duplications;
     r.last_deletions <- deletions;
@@ -1116,6 +1118,10 @@ module Sharded = struct
     mutable r_sends : int;  (* counter positions at the last estimator feed *)
     mutable r_dups : int;
     mutable r_dels : int;
+    mutable r_dead : int;  (* churn-correction positions: deliveries to dead *)
+    mutable r_eadd : int;  (* slots and the ledger's out-of-band edge flux *)
+    mutable r_erem : int;
+    mutable r_edges : int;  (* total edge count at the last feed *)
     mutable r_pending : bool;  (* a repair attempt awaits its follow-up probe *)
   }
 
@@ -1148,8 +1154,30 @@ module Sharded = struct
     sh.minted <- sh.minted + 1;
     serial
 
-  let create ?(shards = 16) ?(loss_rate = 0.) ?init_degree ?scenario ?churn
-      ?resilience ?(probe_every = 8) ~seed ~n ~config () =
+  type init_topology = Ring | Scatter
+
+  (* SplitMix64-style finalizer truncated to OCaml's 63-bit ints: the
+     Scatter start derives every initial edge from this pure function of
+     (seed, u, k), so it consumes no RNG stream — enabling it cannot
+     perturb the per-shard streams, and the result is identical for every
+     shard/domain layout. *)
+  let scatter_target ~seed ~n u k =
+    let h =
+      ref
+        ((seed * 0x1E3779B97F4A7C15)
+        + (u * 0x3F58476D1CE4E5B9)
+        + (k * 0x14D049BB133111EB))
+    in
+    h := !h lxor (!h lsr 30);
+    h := !h * 0x3F58476D1CE4E5B9;
+    h := !h lxor (!h lsr 27);
+    h := !h * 0x14D049BB133111EB;
+    h := !h lxor (!h lsr 31);
+    let v = !h land max_int mod (n - 1) in
+    if v >= u then v + 1 else v
+
+  let create ?(shards = 16) ?(loss_rate = 0.) ?init_degree ?(init = Ring)
+      ?scenario ?churn ?resilience ?(probe_every = 8) ~seed ~n ~config () =
     if n < 3 then invalid_arg "Runner.Sharded.create: need at least 3 nodes";
     if shards < 1 then invalid_arg "Runner.Sharded.create: need at least 1 shard";
     if loss_rate < 0. || loss_rate >= 1. then
@@ -1283,6 +1311,10 @@ module Sharded = struct
             r_sends = 0;
             r_dups = 0;
             r_dels = 0;
+            r_dead = 0;
+            r_eadd = 0;
+            r_erem = 0;
+            r_edges = 0;  (* re-synced below once the ring is installed *)
             r_pending = false;
           }
     in
@@ -1311,20 +1343,31 @@ module Sharded = struct
         resil;
       }
     in
-    (* Deterministic ring start (weakly connected, uniform even outdegree
-       d0 — the section 4 requirement): u points at u+1 .. u+d0 mod n.
-       Installed shard by shard so initial serials are shard-strided like
-       every later mint. *)
+    (* Uniform even outdegree d0 — the section 4 requirement — installed
+       shard by shard so initial serials are shard-strided like every
+       later mint.  Ring: u points at u+1 .. u+d0 mod n (the historical
+       deterministic start; weakly connected, but a 1-D cycle, so views
+       mix only at random-walk speed).  Scatter: u points at d0
+       hash-scattered non-self ids — an expander-like start whose views
+       mix in O(log n) rounds, which rumor-spreading workloads need. *)
     Array.iter
       (fun sh ->
         for u = sh.lo to sh.hi - 1 do
           for k = 0 to d0 - 1 do
-            Flat.set store u k
-              ~id:((u + k + 1) mod n)
-              ~serial:(mint t sh) ~anchor:(-1) ~born:0
+            let id =
+              match init with
+              | Ring -> (u + k + 1) mod n
+              | Scatter -> scatter_target ~seed ~n u k
+            in
+            Flat.set store u k ~id ~serial:(mint t sh) ~anchor:(-1) ~born:0
           done
         done)
       t.shards;
+    (* The estimator's edge-count baseline must include the ring just
+       installed, or its first window sees a spurious +n*d0 drift. *)
+    (match t.resil with
+    | None -> ()
+    | Some r -> r.r_edges <- Flat.total_edges store);
     t
 
   let shard_of t id = if id < t.n then id / t.chunk else (id - t.n) mod t.shard_count
@@ -1590,6 +1633,8 @@ module Sharded = struct
   let node_count t = t.n
   let capacity t = t.capacity
   let shard_count t = t.shard_count
+  let scenario t = t.scenario
+  let loss_rate t = t.loss_rate
   let rounds_completed t = t.rounds
   let store t = t.store
   let total_edges t = Flat.total_edges t.store
@@ -1831,13 +1876,34 @@ module Sharded = struct
     | None -> ()
     | Some r ->
       let wc = world_counters t in
+      (* Churn-aware Lemma 6.6 inversion: the ledger's out-of-band edge
+         flux (bootstraps, leaves, rebootstraps), the sends swallowed by
+         departed slots and the overlay's edge-count drift are exactly
+         the terms that biased the bare estimate under churn and fault
+         transients — feed their deltas alongside the counters. *)
+      let dead = Array.fold_left (fun acc sh -> acc + sh.sh_to_dead) 0 t.shards in
+      let eadd =
+        Array.fold_left (fun acc sh -> acc + sh.sh_edges_added) 0 t.shards
+      in
+      let erem =
+        Array.fold_left (fun acc sh -> acc + sh.sh_edges_removed) 0 t.shards
+      in
+      let edges = Flat.total_edges t.store in
       Sf_resil.Estimator.observe r.r_estimator
+        ~to_dead:(dead - r.r_dead)
+        ~churn_edges_added:(eadd - r.r_eadd)
+        ~churn_edges_removed:(erem - r.r_erem)
+        ~edge_delta:(edges - r.r_edges)
         ~sends:(wc.sends - r.r_sends)
         ~duplications:(wc.duplications - r.r_dups)
-        ~deletions:(wc.deletions - r.r_dels);
+        ~deletions:(wc.deletions - r.r_dels) ();
       r.r_sends <- wc.sends;
       r.r_dups <- wc.duplications;
       r.r_dels <- wc.deletions;
+      r.r_dead <- dead;
+      r.r_eadd <- eadd;
+      r.r_erem <- erem;
+      r.r_edges <- edges;
       if r.r_policy.Sf_resil.Policy.retune
          && Sf_resil.Estimator.confident r.r_estimator
       then begin

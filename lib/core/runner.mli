@@ -124,6 +124,16 @@ val is_crashed : t -> int -> bool
 val fault_statistics : t -> Sf_faults.Injector.stats option
 (** Fault-injection counters, when a scenario is installed. *)
 
+val loss_rate : t -> float
+(** The configured uniform chance-loss probability of the network. *)
+
+val injector : t -> Sf_faults.Injector.t option
+(** The shared fault injector, when a scenario is installed.  Read-only
+    consumers (e.g. the dissemination layer judging its own messages
+    against the same crash/partition windows) may query it; they must not
+    draw loss verdicts through {!Sf_faults.Injector.judge} with the
+    runner's RNG, which would perturb the membership stream. *)
+
 val step : t -> unit
 (** Sequential mode: one global action (random initiator, synchronous
     delivery unless lost).  Crashed nodes are skipped when picking the
@@ -286,10 +296,25 @@ module Sharded : sig
       but destroy edges only through the messages they drop, so they need
       no term of their own. *)
 
+  type init_topology =
+    | Ring
+        (** node [u] starts pointing at [u+1 .. u+d0] (mod [n]): the
+            historical deterministic start.  Weakly connected, but a 1-D
+            cycle — views mix only at random-walk speed, so rumors crawl
+            for a long time after creation. *)
+    | Scatter
+        (** node [u] starts pointing at [d0] hash-scattered non-self ids
+            (a pure integer-hash function of [(seed, u, slot)] — no RNG
+            stream is consumed, so enabling it cannot perturb the
+            per-shard streams).  An expander-like random [d0]-out digraph
+            whose views mix in O(log n) rounds — the start
+            rumor-spreading workloads need. *)
+
   val create :
     ?shards:int ->
     ?loss_rate:float ->
     ?init_degree:int ->
+    ?init:init_topology ->
     ?scenario:Sf_faults.Scenario.t ->
     ?churn:churn ->
     ?resilience:Sf_resil.Policy.t ->
@@ -299,13 +324,12 @@ module Sharded : sig
     config:Protocol.config ->
     unit ->
     t
-  (** Build an [n]-node world on a deterministic ring: node [u] starts
-      pointing at [u+1 .. u+d0] (mod [n]) where [d0] is [init_degree]
-      (must be even, in [2, view_size], below [n]) or an even default
-      between dL and s.  [shards] (default 16) is the {e logical} shard
-      count — part of the world's identity: changing it changes the
-      run, changing the later [domains] argument does not.
-      [loss_rate] must lie in [0, 1).
+  (** Build an [n]-node world whose initial topology is [init] (default
+      {!Ring}) with uniform outdegree [d0]: [init_degree] (must be even,
+      in [2, view_size], below [n]) or an even default between dL and s.
+      [shards] (default 16) is the {e logical} shard count — part of the
+      world's identity: changing it changes the run, changing the later
+      [domains] argument does not.  [loss_rate] must lie in [0, 1).
 
       [scenario] runs crash/partition windows and stateful loss (the
       Gilbert–Elliott chain state is split per shard, so every domain
@@ -353,6 +377,30 @@ module Sharded : sig
 
   val live_count : t -> int
   (** Live nodes across all shards. *)
+
+  val shard_of : t -> int -> int
+  (** The shard owning a node slot: [id / chunk] for initial ids,
+      [(id - n) mod shard_count] for strided headroom slots.  Layered
+      engines (e.g. the dissemination layer) partition their per-node
+      state by the same map so owner-only write discipline carries
+      over. *)
+
+  val scenario : t -> Sf_faults.Scenario.t option
+  (** The installed fault scenario, if any. *)
+
+  val loss_rate : t -> float
+  (** The configured uniform chance-loss probability. *)
+
+  val is_crashed : t -> int -> bool
+  (** [true] while some crash window active {e this round} covers the
+      id.  Window activity is refreshed once per round at the barrier
+      (a pure function of the round clock), so the answer is stable —
+      and safe to read from any domain — for the whole round. *)
+
+  val partitioned : t -> src:int -> dst:int -> bool
+  (** [true] when an active partition window separates the two ids
+      (same contiguous-block rule as {!Sf_faults.Injector}; joiner ids
+      wrap by [id mod n]).  Stable per round, like {!is_crashed}. *)
 
   val total_edges : t -> int
   (** Global outdegree sum, from the store's cached degrees. *)

@@ -1,0 +1,28 @@
+(* Compatibility shim for the historical [Sf_core.Dissemination] push
+   epidemic, now a thin wrapper over {!Sequential}.  The Push path of the
+   engine reproduces the old draw order exactly (same infected-table
+   shape, one [sample_many] per informed node, one unconditional
+   Bernoulli per push under [Iid]), so on a scenario-free runner this
+   wrapper is byte-for-byte the old [spread] — the regression test holds
+   it to that. *)
+
+type trace = {
+  rounds_to_half : int option;
+  rounds_to_all : int option;
+  coverage : float array;
+  pushes : int;
+}
+
+let spread ?(coverage_target = 0.99) ?(max_rounds = 200) runner rng ~fanout
+    ~loss_rate ~source () =
+  let r =
+    Sequential.run ~coverage_target ~max_rounds ~loss_rate
+      ~loss_model:Sf_faults.Loss.Iid ~strategy:Strategy.Push ~fanout ~source
+      runner rng
+  in
+  {
+    rounds_to_half = r.Report.rounds_to_half;
+    rounds_to_all = r.Report.rounds_to_target;
+    coverage = r.Report.coverage;
+    pushes = r.Report.pushes;
+  }

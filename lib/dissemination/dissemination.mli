@@ -1,0 +1,29 @@
+(** Historical push-epidemic interface, kept for existing drivers and
+    benchmarks; a thin shim over {!Sequential} with
+    {!Strategy.Push}.  On a scenario-free runner it replays the
+    pre-refactor [Sf_core.Dissemination.spread] byte-for-byte (same RNG
+    draws, same trace).  New code should call {!Sequential.run} — or
+    {!Flat.run} at scale — directly. *)
+
+type trace = {
+  rounds_to_half : int option;
+  rounds_to_all : int option;  (** to [coverage_target] of live nodes *)
+  coverage : float array;  (** live-coverage fraction after each round *)
+  pushes : int;  (** total push messages sent *)
+}
+
+val spread :
+  ?coverage_target:float ->
+  ?max_rounds:int ->
+  Sf_core.Runner.t ->
+  Sf_prng.Rng.t ->
+  fanout:int ->
+  loss_rate:float ->
+  source:int ->
+  unit ->
+  trace
+(** Spread a rumor from [source]: each round every infected node pushes to
+    [fanout] peers sampled from its current view; pushes are lost with
+    [loss_rate] (i.i.d., regardless of any runner scenario — the
+    historical contract). Stops at [coverage_target] (default 0.99) of
+    live nodes or [max_rounds] (default 200). *)

@@ -1,0 +1,37 @@
+(** The sequential spreading engine: rumor rounds interleaved with an
+    orchestrated {!Sf_core.Runner}'s membership rounds.
+
+    Each spreading round advances the membership one round (the views the
+    rumor samples from are the live, evolving ones), then runs one
+    synchronous step of the chosen {!Strategy}.  Every spread message
+    passes the same verdict pipeline as membership traffic — destination
+    crash window, partition window, loss process, in the injector's order
+    — but draws from the {e caller's} RNG and a private loss-chain
+    instance, so spreading never perturbs the membership stream.  Crashed
+    nodes neither initiate spread messages nor receive them, and do not
+    count as reachable in the coverage denominator. *)
+
+val run :
+  ?coverage_target:float ->
+  ?max_rounds:int ->
+  ?loss_rate:float ->
+  ?loss_model:Sf_faults.Loss.model ->
+  ?metrics:Sf_obs.Metrics.t ->
+  strategy:Strategy.t ->
+  fanout:int ->
+  source:int ->
+  Sf_core.Runner.t ->
+  Sf_prng.Rng.t ->
+  Report.t
+(** Spread a rumor from [source] until live coverage reaches
+    [coverage_target] (default 0.99) or [max_rounds] (default 200)
+    spreading rounds have run.  Advances the runner.
+
+    [loss_rate] defaults to the runner's configured chance-loss rate and
+    [loss_model] to the runner scenario's loss process ({!Sf_faults.Loss.Iid}
+    without a scenario); the engine steps its own private chain instance.
+    [metrics] receives the [spread_*] counters and the [spread_coverage]
+    gauge (a private registry when omitted).
+
+    Raises [Invalid_argument] for [fanout < 1] or a [coverage_target]
+    outside (0, 1]. *)

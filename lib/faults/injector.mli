@@ -72,6 +72,13 @@ val is_crashed : t -> int -> bool
 (** [true] while some active crash window covers the id.  Drivers must not
     let crashed nodes initiate; {!Sf_check.Invariant} flags violations. *)
 
+val partitioned : t -> src:int -> dst:int -> bool
+(** [true] when an active partition window puts [src] and [dst] in
+    different blocks (contiguous blocks of the initial id space; joiner
+    ids wrap by [id mod n]).  A pure read of the window state — no
+    randomness, no counters; call {!refresh} first if the clock may have
+    advanced since the last query. *)
+
 val crash_active : t -> bool
 (** [true] iff some crash window is currently active. *)
 

@@ -264,7 +264,7 @@ let resil_tick t (ns : node_state) =
     let dels = node.Sf_core.Protocol.deletions in
     Sf_resil.Estimator.observe nr.estimator ~sends:(sent - nr.last_sent)
       ~duplications:(dups - nr.last_duplications)
-      ~deletions:(dels - nr.last_deletions);
+      ~deletions:(dels - nr.last_deletions) ();
     nr.last_sent <- sent;
     nr.last_duplications <- dups;
     nr.last_deletions <- dels;

@@ -15,7 +15,30 @@
    inverted rate into an EWMA, and exposes the smoothed estimate plus a
    confidence flag (at least one full window observed).  It consumes no
    randomness and performs O(1) work per observation, so attaching it to
-   a driver cannot perturb an RNG stream. *)
+   a driver cannot perturb an RNG stream.
+
+   Churn correction.  The bare inversion assumes every edge enters or
+   leaves the graph through a send.  Under churn that is false: join and
+   rebootstrap bootstraps install edges out of band, leaves clear whole
+   views, and sends addressed to departed slots vanish without either a
+   duplication or a deletion.  Counting each send as exactly one of
+   {lost, to-dead, deleted, accepted}, the round-granular edge
+   conservation ledger reads, exactly,
+
+     delta_edges = 2*dup - 2*(lost + to_dead + del) + added - removed
+
+   and solving for the loss rate gives the corrected inversion
+
+     loss ~= (dup - del - to_dead + (added - removed - delta_edges)/2)
+             / sends
+
+   where delta_edges — the change in the total edge count over the
+   window, a sum of locally observable view-size changes — absorbs the
+   warm-up and fault transients that break the steady-state
+   delta_edges = 0 assumption (a short chaos window can shrink the
+   overlay enough to drive the steady-state form negative).  Every
+   correction term defaults to zero, collapsing to the bare Lemma 6.6
+   form, so existing callers are unaffected. *)
 
 type t = {
   window : int;       (* sends per estimation window *)
@@ -23,6 +46,10 @@ type t = {
   mutable acc_sends : int;
   mutable acc_duplications : int;
   mutable acc_deletions : int;
+  mutable acc_to_dead : int;
+  mutable acc_edges_added : int;
+  mutable acc_edges_removed : int;
+  mutable acc_edge_delta : int;  (* signed: overlays shrink in transients *)
   mutable estimate : float;
   mutable windows : int;  (* completed windows folded so far *)
 }
@@ -37,6 +64,10 @@ let create ?(window = 2000) ?(smoothing = 0.3) () =
     acc_sends = 0;
     acc_duplications = 0;
     acc_deletions = 0;
+    acc_to_dead = 0;
+    acc_edges_added = 0;
+    acc_edges_removed = 0;
+    acc_edge_delta = 0;
     estimate = 0.;
     windows = 0;
   }
@@ -50,9 +81,17 @@ let clamp x = Float.max 0. (Float.min 0.99 x)
 
 let fold_window t =
   let sends = float_of_int t.acc_sends in
+  (* The edge-flux terms enter halved: the ledger counts every edge
+     twice per send-side event (a send moves edges in pairs). *)
+  let churn_flux =
+    float_of_int (t.acc_edges_added - t.acc_edges_removed - t.acc_edge_delta)
+    /. 2.
+  in
   let raw =
     clamp
-      (float_of_int (t.acc_duplications - t.acc_deletions) /. sends)
+      ((float_of_int (t.acc_duplications - t.acc_deletions - t.acc_to_dead)
+       +. churn_flux)
+      /. sends)
   in
   t.estimate <-
     (if t.windows = 0 then raw
@@ -60,18 +99,28 @@ let fold_window t =
   t.windows <- t.windows + 1;
   t.acc_sends <- 0;
   t.acc_duplications <- 0;
-  t.acc_deletions <- 0
+  t.acc_deletions <- 0;
+  t.acc_to_dead <- 0;
+  t.acc_edges_added <- 0;
+  t.acc_edges_removed <- 0;
+  t.acc_edge_delta <- 0
 
 (* Feed counter *deltas* (not absolute totals) since the previous call.
    Several windows can complete in one large delta; each full window folds
    separately so the EWMA time constant is independent of the feeding
    cadence. *)
-let observe t ~sends ~duplications ~deletions =
-  if sends < 0 || duplications < 0 || deletions < 0 then
-    invalid_arg "Estimator.observe: negative delta";
+let observe t ?(to_dead = 0) ?(churn_edges_added = 0) ?(churn_edges_removed = 0)
+    ?(edge_delta = 0) ~sends ~duplications ~deletions () =
+  if sends < 0 || duplications < 0 || deletions < 0 || to_dead < 0
+     || churn_edges_added < 0 || churn_edges_removed < 0
+  then invalid_arg "Estimator.observe: negative delta";
   t.acc_sends <- t.acc_sends + sends;
   t.acc_duplications <- t.acc_duplications + duplications;
   t.acc_deletions <- t.acc_deletions + deletions;
+  t.acc_to_dead <- t.acc_to_dead + to_dead;
+  t.acc_edges_added <- t.acc_edges_added + churn_edges_added;
+  t.acc_edges_removed <- t.acc_edges_removed + churn_edges_removed;
+  t.acc_edge_delta <- t.acc_edge_delta + edge_delta;
   while t.acc_sends >= t.window do
     (* Attribute the overflow proportionally: fold the full window with a
        pro-rata share of the event deltas, keep the remainder accumulating.
@@ -80,16 +129,31 @@ let observe t ~sends ~duplications ~deletions =
     let over = t.acc_sends - t.window in
     if over = 0 then fold_window t
     else begin
-      let share x = x * t.window / t.acc_sends in
+      let share x =
+        if x >= 0 then x * t.window / t.acc_sends
+        else -(-x * t.window / t.acc_sends)
+      in
       let keep_dup = t.acc_duplications - share t.acc_duplications in
       let keep_del = t.acc_deletions - share t.acc_deletions in
+      let keep_dead = t.acc_to_dead - share t.acc_to_dead in
+      let keep_add = t.acc_edges_added - share t.acc_edges_added in
+      let keep_rem = t.acc_edges_removed - share t.acc_edges_removed in
+      let keep_edge = t.acc_edge_delta - share t.acc_edge_delta in
       t.acc_sends <- t.window;
       t.acc_duplications <- t.acc_duplications - keep_dup;
       t.acc_deletions <- t.acc_deletions - keep_del;
+      t.acc_to_dead <- t.acc_to_dead - keep_dead;
+      t.acc_edges_added <- t.acc_edges_added - keep_add;
+      t.acc_edges_removed <- t.acc_edges_removed - keep_rem;
+      t.acc_edge_delta <- t.acc_edge_delta - keep_edge;
       fold_window t;
       t.acc_sends <- over;
       t.acc_duplications <- keep_dup;
-      t.acc_deletions <- keep_del
+      t.acc_deletions <- keep_del;
+      t.acc_to_dead <- keep_dead;
+      t.acc_edges_added <- keep_add;
+      t.acc_edges_removed <- keep_rem;
+      t.acc_edge_delta <- keep_edge
     end
   done
 

@@ -8,7 +8,33 @@
 
     estimates the effective loss rate — chance drops, burst drops and
     partition drops alike — from signals a deployed node already has.
-    Windowed, EWMA-smoothed, allocation-free and randomness-free. *)
+    Windowed, EWMA-smoothed, allocation-free and randomness-free.
+
+    {2 Churn correction}
+
+    The bare inversion assumes every edge enters and leaves the overlay
+    through a send.  Churn breaks that: join/rebootstrap bootstraps
+    install edges out of band, leaves clear whole views, and sends to
+    departed slots vanish producing neither a duplication nor a
+    deletion, so the bare estimate is biased (it read low in the PR 8
+    chaos runs).  Classifying each send as exactly one of {lost,
+    to-dead, deleted, accepted}, the round-granular edge conservation
+    ledger of the sharded engine reads, exactly,
+
+      [delta_edges = 2 dup - 2 (lost + to_dead + del) + added - removed]
+
+    and solving for the loss rate yields
+
+      [loss ~= (dup - del - to_dead
+                + (added - removed - delta_edges)/2) / sends]
+
+    where [delta_edges] — the change in the total edge count over the
+    window, a sum of locally observable view-size changes — absorbs the
+    warm-up and fault transients that break the steady-state
+    [delta_edges = 0] assumption.  Feed the ledger deltas through
+    {!observe}'s optional arguments to apply the correction; omitting
+    them reproduces the bare inversion exactly, so scenario-free callers
+    are bit-for-bit unchanged. *)
 
 type t
 
@@ -17,11 +43,28 @@ val create : ?window:int -> ?smoothing:float -> unit -> t
     [smoothing] the EWMA weight of each fresh window in (0, 1] (default
     0.3).  The first completed window initializes the estimate directly. *)
 
-val observe : t -> sends:int -> duplications:int -> deletions:int -> unit
+val observe :
+  t ->
+  ?to_dead:int ->
+  ?churn_edges_added:int ->
+  ?churn_edges_removed:int ->
+  ?edge_delta:int ->
+  sends:int ->
+  duplications:int ->
+  deletions:int ->
+  unit ->
+  unit
 (** Feed counter {e deltas} since the previous call.  Whenever a full
     window of sends completes, its inverted rate — clamped into [0, 0.99]
     — folds into the smoothed estimate; a large delta can complete several
-    windows.  Raises [Invalid_argument] on negative deltas. *)
+    windows.  Raises [Invalid_argument] on negative deltas.
+
+    [to_dead] is the count of sends delivered to departed slots,
+    [churn_edges_added]/[churn_edges_removed] the out-of-band edge flux of
+    joins, leaves and rebootstraps (the sharded engine's ledger terms), and
+    [edge_delta] the signed change in the total edge count over the delta —
+    the only argument allowed to be negative.  All four default to [0],
+    reproducing the bare Lemma 6.6 inversion. *)
 
 val estimate : t -> float
 (** The current smoothed loss estimate in [0, 0.99]; [0.] before the

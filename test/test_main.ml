@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("resilience", Test_resil.suite);
       ("scale", Test_scale.suite);
+      ("spread", Test_spread.suite);
     ]

@@ -76,14 +76,14 @@ let test_estimator_windows () =
   Alcotest.(check bool) "not confident before a window" false (Estimator.confident e);
   Alcotest.(check (float 0.)) "estimate 0 before a window" 0. (Estimator.estimate e);
   (* One full window with dup - del = 20 of 100 sends: estimate 0.2. *)
-  Estimator.observe e ~sends:100 ~duplications:25 ~deletions:5;
+  Estimator.observe e ~sends:100 ~duplications:25 ~deletions:5 ();
   Alcotest.(check bool) "confident after one window" true (Estimator.confident e);
   Alcotest.(check (float 1e-9)) "inverted rate" 0.2 (Estimator.estimate e);
   (* Deletions above duplications clamp at 0, never negative. *)
   let e = Estimator.create ~window:10 ~smoothing:1.0 () in
-  Estimator.observe e ~sends:10 ~duplications:0 ~deletions:8;
+  Estimator.observe e ~sends:10 ~duplications:0 ~deletions:8 ();
   Alcotest.(check bool) "clamped below at 0" true (Estimator.estimate e >= 0.);
-  match Estimator.observe e ~sends:(-1) ~duplications:0 ~deletions:0 with
+  match Estimator.observe e ~sends:(-1) ~duplications:0 ~deletions:0 () with
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "negative deltas must be rejected"
 
@@ -237,6 +237,47 @@ let test_estimator_accuracy_ge () =
     true
     (Float.abs (estimate -. truth) <= 0.03)
 
+(* Churn correction: at 1% per-round churn the bare inversion reads low —
+   sends to departed slots produce neither a duplication nor a deletion,
+   and join/leave edge flux enters the overlay out of band.  The sharded
+   engine feeds the extended-ledger terms ([to_dead], churn edge flux)
+   through [Estimator.observe]; with them folded in the estimate must
+   land within 0.03 of the injector's ground truth. *)
+let test_estimator_accuracy_churn () =
+  (* Unit-level arithmetic first: the corrected inversion is
+     (dup - del - to_dead + (added - removed)/2) / sends. *)
+  let bare = Estimator.create ~window:100 ~smoothing:1.0 () in
+  let corrected = Estimator.create ~window:100 ~smoothing:1.0 () in
+  Estimator.observe bare ~sends:100 ~duplications:20 ~deletions:5 ();
+  Estimator.observe corrected ~to_dead:2 ~churn_edges_added:10
+    ~churn_edges_removed:2 ~sends:100 ~duplications:20 ~deletions:5 ();
+  Alcotest.(check (float 1e-9)) "bare inversion" 0.15 (Estimator.estimate bare);
+  Alcotest.(check (float 1e-9)) "ledger-corrected inversion" 0.17
+    (Estimator.estimate corrected);
+  (* End to end on the sharded engine under bursty loss and churn. *)
+  let config = Protocol.make_config ~view_size:16 ~lower_threshold:4 in
+  let w =
+    Runner.Sharded.create ~shards:8 ~seed:31 ~n:2_000 ~config
+      ~scenario:(scenario_of_string "ge:0.2:8")
+      ~churn:{ Runner.Sharded.churn_rate = 0.01; headroom = 256 }
+      ~resilience:(Policy.observe_only ()) ()
+  in
+  Runner.Sharded.run_rounds w ~domains:2 300;
+  let wc = Runner.Sharded.world_counters w in
+  let truth =
+    float_of_int wc.Runner.messages_lost /. float_of_int (max 1 wc.Runner.sends)
+  in
+  match Runner.Sharded.resilience_statistics w with
+  | None -> Alcotest.fail "resilience statistics missing"
+  | Some rs ->
+    Alcotest.(check bool) "estimator folded windows" true
+      rs.Runner.estimator_confident;
+    Alcotest.(check bool)
+      (Fmt.str "churn: estimate %.4f within 0.03 of measured loss %.4f"
+         rs.Runner.loss_estimate truth)
+      true
+      (Float.abs (rs.Runner.loss_estimate -. truth) <= 0.03)
+
 (* --- End-to-end adaptive retuning under the audit --- *)
 
 let test_retune_e2e_audited () =
@@ -339,6 +380,8 @@ let suite =
     Alcotest.test_case "estimator accuracy (i.i.d.)" `Slow test_estimator_accuracy_iid;
     Alcotest.test_case "estimator accuracy (Gilbert-Elliott)" `Slow
       test_estimator_accuracy_ge;
+    Alcotest.test_case "estimator accuracy (1% churn, ledger-corrected)" `Slow
+      test_estimator_accuracy_churn;
     Alcotest.test_case "adaptive retuning passes the audit" `Slow
       test_retune_e2e_audited;
     Alcotest.test_case "supervised partition recovery" `Slow

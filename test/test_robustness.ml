@@ -5,7 +5,7 @@ module Runner = Sf_core.Runner
 module Protocol = Sf_core.Protocol
 module Topology = Sf_core.Topology
 module Sessions = Sf_core.Sessions
-module Dissemination = Sf_core.Dissemination
+module Dissemination = Sf_spread.Dissemination
 module Summary = Sf_stats.Summary
 
 let config = Protocol.make_config ~view_size:12 ~lower_threshold:4

@@ -1,0 +1,241 @@
+(* Tests for lib/dissemination: the strategy engines (sequential and
+   flat-state sharded), their determinism contracts, the compat shim's
+   byte-identity with the historical push spread, and the coverage
+   semantics under crash faults. *)
+
+module Runner = Sf_core.Runner
+module Sharded = Sf_core.Runner.Sharded
+module Protocol = Sf_core.Protocol
+module Topology = Sf_core.Topology
+module Sampling = Sf_core.Sampling
+module Strategy = Sf_spread.Strategy
+module Sequential = Sf_spread.Sequential
+module Report = Sf_spread.Report
+module Flat = Sf_spread.Flat
+module Dissemination = Sf_spread.Dissemination
+module Rng = Sf_prng.Rng
+
+let config = Protocol.make_config ~view_size:16 ~lower_threshold:4
+
+let scenario s =
+  match Sf_faults.Scenario.of_string s with
+  | Ok sc -> sc
+  | Error e -> Alcotest.fail ("scenario parse: " ^ e)
+
+let make_runner ?scenario ?(seed = 77) ?(n = 400) ?(loss = 0.) () =
+  let rng = Rng.create (seed + 1000) in
+  let topology = Topology.regular rng ~n ~out_degree:8 in
+  Runner.create ?scenario ~seed ~n ~loss_rate:loss ~config ~topology ()
+
+(* --- Compat shim: byte-identity with the historical push spread --- *)
+
+(* The pre-refactor [Sf_core.Dissemination.spread], inlined verbatim (its
+   whole body fits on a page): one Hashtbl of infected ids, fanout view
+   samples per infected node per round, one unconditional bernoulli per
+   push.  The shim must replay it draw-for-draw. *)
+let reference_spread ?(coverage_target = 0.99) ?(max_rounds = 200) runner rng
+    ~fanout ~loss_rate ~source () =
+  let infected = Hashtbl.create 1024 in
+  Hashtbl.replace infected source ();
+  let pushes = ref 0 in
+  let coverage = ref [] in
+  let fraction () =
+    float_of_int (Hashtbl.length infected)
+    /. float_of_int (max 1 (Runner.live_count runner))
+  in
+  let rounds_to_half = ref None and rounds_to_all = ref None in
+  let round = ref 0 in
+  while !rounds_to_all = None && !round < max_rounds do
+    incr round;
+    Runner.run_rounds runner 1;
+    let currently_infected =
+      Hashtbl.fold (fun id () acc -> id :: acc) infected []
+    in
+    List.iter
+      (fun id ->
+        match Runner.find_node runner id with
+        | None -> ()
+        | Some node ->
+          let targets =
+            Sampling.sample_many runner rng ~node_id:node.Protocol.node_id
+              ~k:fanout
+          in
+          List.iter
+            (fun target ->
+              incr pushes;
+              if not (Rng.bernoulli rng loss_rate) then
+                if Runner.find_node runner target <> None then
+                  Hashtbl.replace infected target ())
+            targets)
+      currently_infected;
+    let f = fraction () in
+    coverage := f :: !coverage;
+    if !rounds_to_half = None && f >= 0.5 then rounds_to_half := Some !round;
+    if !rounds_to_all = None && f >= coverage_target then
+      rounds_to_all := Some !round
+  done;
+  ( !rounds_to_half,
+    !rounds_to_all,
+    Array.of_list (List.rev !coverage),
+    !pushes )
+
+let test_shim_byte_identity () =
+  List.iter
+    (fun loss_rate ->
+      let r_ref = make_runner ~loss:loss_rate ()
+      and r_new = make_runner ~loss:loss_rate () in
+      let rng_ref = Rng.create 4242 and rng_new = Rng.create 4242 in
+      let half, all, coverage, pushes =
+        reference_spread r_ref rng_ref ~fanout:2 ~loss_rate ~source:0 ()
+      in
+      let t =
+        Dissemination.spread r_new rng_new ~fanout:2 ~loss_rate ~source:0 ()
+      in
+      Alcotest.(check (option int)) "rounds_to_half" half t.Dissemination.rounds_to_half;
+      Alcotest.(check (option int)) "rounds_to_all" all t.Dissemination.rounds_to_all;
+      Alcotest.(check int) "pushes" pushes t.Dissemination.pushes;
+      Alcotest.(check (array (float 0.))) "coverage trajectory" coverage
+        t.Dissemination.coverage;
+      (* Same randomness consumed: the two streams are still aligned, and
+         so are the two runners' membership streams. *)
+      Alcotest.(check int) "rumor RNG streams aligned"
+        (Rng.int rng_ref 1_000_000) (Rng.int rng_new 1_000_000);
+      Alcotest.(check int) "runners advanced identically"
+        (Runner.live_count r_ref) (Runner.live_count r_new))
+    [ 0.; 0.2 ]
+
+(* --- Sequential engine: per-strategy determinism --- *)
+
+let test_sequential_determinism () =
+  List.iter
+    (fun strategy ->
+      let run () =
+        let r = make_runner ~scenario:(scenario "ge:0.2:8") ~loss:0.01 () in
+        Sequential.run ~strategy ~fanout:2 ~source:0 r (Rng.create 9)
+      in
+      let a = run () and b = run () in
+      Alcotest.(check bool)
+        (Strategy.to_string strategy ^ " replays bit-for-bit")
+        true (Report.equal a b);
+      Alcotest.(check bool)
+        (Strategy.to_string strategy ^ " reached target")
+        true (Report.reached a);
+      Alcotest.(check int)
+        (Strategy.to_string strategy ^ " messages = pushes + requests")
+        a.Report.messages
+        (a.Report.pushes + a.Report.requests))
+    Strategy.all
+
+(* --- Coverage denominator: crashed nodes are unreachable, not missing --- *)
+
+(* An eighth of the nodes crash for the whole run.  They can never be
+   informed, so with the historical all-live denominator coverage would
+   cap at 7/8 < 0.99 and the spread could never terminate; against the
+   reachable (live, un-crashed) population it completes normally. *)
+let test_crash_coverage_denominator () =
+  let n = 400 in
+  let r = make_runner ~scenario:(scenario "crash@1-200:0-49") ~n () in
+  let report =
+    Sequential.run ~strategy:Strategy.Push ~fanout:2 ~source:60 r
+      (Rng.create 9)
+  in
+  Alcotest.(check bool) "reached 0.99 of reachable nodes" true
+    (Report.reached report);
+  Alcotest.(check bool)
+    (Fmt.str "terminated early (%d rounds)" report.Report.rounds)
+    true
+    (report.Report.rounds < 200);
+  Alcotest.(check bool) "some messages died on crashed targets" true
+    (report.Report.lost > 0)
+
+(* --- Flat engine: domain-count invariance under chaos --- *)
+
+let flat_chaos_world () =
+  Sharded.create ~shards:8 ~loss_rate:0. ~init:Sharded.Scatter
+    ~scenario:(scenario "ge:0.2:8;crash@2-6:0-39")
+    ~churn:{ Sharded.churn_rate = 0.01; headroom = 64 }
+    ~seed:5 ~n:800 ~config ()
+
+let test_flat_domain_invariance () =
+  List.iter
+    (fun strategy ->
+      let run domains =
+        let w = flat_chaos_world () in
+        Sharded.run_rounds w ~domains 10;
+        let sp = Flat.create ~strategy ~source:0 ~seed:11 w in
+        let report = Flat.run ~max_rounds:60 ~domains sp in
+        (sp, report)
+      in
+      let sp1, rep1 = run 1 and sp2, rep2 = run 2 and sp4, rep4 = run 4 in
+      Alcotest.(check bool)
+        (Strategy.to_string strategy ^ ": 2 domains, engine bit-identical")
+        true (Flat.equal sp1 sp2);
+      Alcotest.(check bool)
+        (Strategy.to_string strategy ^ ": 4 domains, engine bit-identical")
+        true (Flat.equal sp1 sp4);
+      Alcotest.(check bool)
+        (Strategy.to_string strategy ^ ": reports identical")
+        true
+        (Report.equal rep1 rep2 && Report.equal rep1 rep4);
+      Alcotest.(check int)
+        (Strategy.to_string strategy ^ ": infection census identical")
+        (Flat.infected_count sp1) (Flat.infected_count sp4))
+    Strategy.all
+
+(* --- Flat engine: the two headline spreading claims, at n = 10^4 --- *)
+
+let flat_leg ~strategy ~n ~seed =
+  let w =
+    Sharded.create ~shards:16 ~loss_rate:0. ~init:Sharded.Scatter
+      ~scenario:(scenario "ge:0.2:8") ~seed ~n ~config ()
+  in
+  Sharded.run_rounds w ~domains:4 20;
+  let sp = Flat.create ~strategy ~fanout:2 ~source:0 ~seed:(seed + 6) w in
+  Flat.run ~max_rounds:120 ~domains:4 sp
+
+(* Doerr et al.: push-pull completes in O(log n) rounds even under
+   constant loss — here 20% bursty, n = 10^4, envelope c = 4. *)
+let test_push_pull_log_completion () =
+  let n = 10_000 in
+  let report = flat_leg ~strategy:Strategy.Push_pull ~n ~seed:3 in
+  let rounds =
+    match report.Report.rounds_to_target with
+    | Some r -> float_of_int r
+    | None -> infinity
+  in
+  let envelope = Strategy.envelope ~c:4.0 ~n in
+  Alcotest.(check bool)
+    (Fmt.str "push-pull: %.0f rounds <= %.1f envelope at 20%% loss" rounds
+       envelope)
+    true
+    (rounds <= envelope)
+
+(* Haeupler-Malkhi: learned direct addresses buy the same coverage for
+   fewer messages than blind push. *)
+let test_direct_beats_push_messages () =
+  let n = 10_000 in
+  let push = flat_leg ~strategy:Strategy.Push ~n ~seed:3 in
+  let direct = flat_leg ~strategy:Strategy.Direct ~n ~seed:3 in
+  Alcotest.(check bool) "both reached" true
+    (Report.reached push && Report.reached direct);
+  Alcotest.(check bool)
+    (Fmt.str "direct %d < push %d messages" direct.Report.messages
+       push.Report.messages)
+    true
+    (direct.Report.messages < push.Report.messages)
+
+let suite =
+  [
+    Alcotest.test_case "shim byte-identity with historical spread" `Quick
+      test_shim_byte_identity;
+    Alcotest.test_case "sequential per-strategy determinism" `Quick
+      test_sequential_determinism;
+    Alcotest.test_case "crash-aware coverage denominator" `Quick
+      test_crash_coverage_denominator;
+    Alcotest.test_case "flat domain-count invariance (all strategies)" `Quick
+      test_flat_domain_invariance;
+    Alcotest.test_case "push-pull O(log n) under loss at 10k" `Slow
+      test_push_pull_log_completion;
+    Alcotest.test_case "direct beats push on messages at 10k" `Slow
+      test_direct_beats_push_messages;
+  ]
