@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; CI runs the same three gates.
 
-.PHONY: all build lint analyze test check storm soak obs scale storm-scale spread bench clean
+.PHONY: all build lint analyze test check storm soak obs scale storm-scale spread cluster bench clean
 
 all: lint analyze build test
 
@@ -96,6 +96,20 @@ spread: build
 	dune exec bin/sfg.exe -- spread --strategy push-pull --n 10000 \
 	  --scenario "ge:0.2:8" --verify-domains
 	dune exec bench/main.exe -- SPREAD10
+
+# Multi-process cluster gate (budget: well under a minute): fork 8 real
+# node-host processes (256 UDP sockets) under bursty loss with a crash
+# window realized as a genuine kill -9 plus controller respawn, once all-v2
+# and once with alternating v1/v2 hosts (per-peer downgrade), gating on
+# M1 bounds, parity and weak connectivity of the merged post-heal views;
+# then the CLUSTER bench section re-runs both legs and writes
+# BENCH_cluster.json (datagrams/s, batch-fill, per-action p50/p99).
+# Exit codes follow storm/soak: 1 on a failed verdict, 2 when a declared
+# fault class left no process-level evidence.
+cluster: build
+	dune exec bin/sfg.exe -- cluster --quiet --port 47200
+	dune exec bin/sfg.exe -- cluster --quiet --codec mixed --port 47600
+	dune exec bench/main.exe -- CLUSTER
 
 bench:
 	dune exec bench/main.exe

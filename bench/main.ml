@@ -26,6 +26,7 @@ type payload =
   | Scale of Json.t  (* the scale ladder, written to BENCH_scale.json *)
   | Sstorm of Json.t  (* the chaos-at-scale gate, written to BENCH_sstorm.json *)
   | Spread of Json.t  (* the dissemination grid, written to BENCH_spread.json *)
+  | Cluster of Json.t  (* the multi-process gate, written to BENCH_cluster.json *)
 
 let quiet f () =
   f ();
@@ -76,6 +77,7 @@ let experiments =
     ("SSTORM", fun () -> Sstorm (Exp_scale.sstorm ()));
     ("SPREAD", fun () -> Spread (Exp_spread.run ~smoke:false ()));
     ("SPREAD10", fun () -> Spread (Exp_spread.run ~smoke:true ()));
+    ("CLUSTER", fun () -> Cluster (Exp_cluster.run ()));
     ("SPEED", quiet Speed.run);
   ]
 
@@ -84,6 +86,7 @@ let resil_artifact_path = "BENCH_resil.json"
 let scale_artifact_path = "BENCH_scale.json"
 let sstorm_artifact_path = "BENCH_sstorm.json"
 let spread_artifact_path = "BENCH_spread.json"
+let cluster_artifact_path = "BENCH_cluster.json"
 
 let write_json path json =
   Out_channel.with_open_text path (fun oc ->
@@ -137,7 +140,10 @@ let run_sections sections =
           Fmt.pr "  (wrote %s)@." sstorm_artifact_path
         | Spread json ->
           write_json spread_artifact_path json;
-          Fmt.pr "  (wrote %s)@." spread_artifact_path);
+          Fmt.pr "  (wrote %s)@." spread_artifact_path
+        | Cluster json ->
+          write_json cluster_artifact_path json;
+          Fmt.pr "  (wrote %s)@." cluster_artifact_path);
         Fmt.pr "  (%s finished in %.1fs)@." id seconds;
         (id, seconds))
       sections

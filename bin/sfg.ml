@@ -783,10 +783,70 @@ let storm_cmd =
    solved for, plus a partition and a crash wave: the regime the
    resilience layer exists for.  Rounds are longer than storm's so the
    estimator folds several full windows before the verdict. *)
+(* Gate checks shared by `sfg cluster` and the soak --multiproc leg:
+   every host completed the shutdown protocol, every node reported a
+   view, each view is sound with M1-bounded even outdegree, and the
+   merged overlay is weakly connected. *)
+let check_cluster_outcome ~(fail : string -> unit) ~hosts ~n ~view_size
+    (o : Sf_net.Spawner.outcome) =
+  let failf fmt = Fmt.kstr fail fmt in
+  let byes =
+    List.length (List.filter (fun h -> h.Sf_net.Spawner.bye) o.Sf_net.Spawner.hosts)
+  in
+  if byes <> hosts then failf "only %d/%d hosts completed the stop protocol" byes hosts;
+  let merged = o.Sf_net.Spawner.merged_views in
+  let reported = List.length merged in
+  if reported <> n then failf "%d/%d nodes reported a final view" reported n;
+  let graph = Sf_graph.Digraph.create () in
+  List.iter
+    (fun (id, entries) ->
+      Sf_graph.Digraph.ensure_vertex graph id;
+      let view = Sf_core.View.create view_size in
+      List.iteri
+        (fun slot e ->
+          if slot < view_size then begin
+            Sf_core.View.set view slot e;
+            Sf_graph.Digraph.add_edge graph id e.Sf_core.View.id
+          end)
+        entries;
+      (match Sf_check.Invariant.check_view view with
+      | Some v ->
+        failf "cluster node %d: %s" id (Fmt.str "%a" Sf_check.Invariant.pp_violation v)
+      | None -> ());
+      let d = Sf_core.View.degree view in
+      if d < 0 || d > view_size || d mod 2 <> 0 then
+        failf "cluster node %d: outdegree %d violates M1 bounds or parity" id d)
+    merged;
+  if reported = n && not (Sf_graph.Digraph.is_weakly_connected graph) then
+    fail "merged post-heal overlay is not weakly connected"
+
+let sum_stat key (o : Sf_net.Spawner.outcome) =
+  List.fold_left
+    (fun acc h ->
+      acc
+      +. (match List.assoc_opt key h.Sf_net.Spawner.stats with
+         | Some v -> v
+         | None -> 0.))
+    0. o.Sf_net.Spawner.hosts
+
+let max_stat key (o : Sf_net.Spawner.outcome) =
+  List.fold_left
+    (fun acc h ->
+      Float.max acc
+        (match List.assoc_opt key h.Sf_net.Spawner.stats with
+        | Some v -> v
+        | None -> 0.))
+    0. o.Sf_net.Spawner.hosts
+
+let declares kind (scenario : Sf_faults.Scenario.t) =
+  List.exists
+    (fun w -> Sf_faults.Scenario.fault_kind w.Sf_faults.Scenario.fault = kind)
+    scenario.Sf_faults.Scenario.windows
+
 let default_soak_scenario = "ge:0.15:6;partition@60-80:2;crash@110-130:0-5"
 
 let soak seed n view_size lower_threshold d_hat delta loss rounds scenario tolerance
-    udp_nodes base_port no_udp =
+    udp_nodes base_port no_udp multiproc =
   let scenario =
     match scenario with
     | Some sc -> sc
@@ -880,13 +940,7 @@ let soak seed n view_size lower_threshold d_hat delta loss rounds scenario toler
           cs.Sf_net.Cluster.datagrams_sent cs.Sf_net.Cluster.datagrams_dropped
           cs.Sf_net.Cluster.datagrams_received cs.Sf_net.Cluster.rejoins
           cs.Sf_net.Cluster.retunes;
-        let declares_crash =
-          List.exists
-            (fun w ->
-              Sf_faults.Scenario.fault_kind w.Sf_faults.Scenario.fault = "crash")
-            scenario.Sf_faults.Scenario.windows
-        in
-        if declares_crash && cs.Sf_net.Cluster.rejoins = 0 then
+        if declares "crash" scenario && cs.Sf_net.Cluster.rejoins = 0 then
           fail "crash windows declared but no cluster rejoins";
         Seq.iter
           (fun (id, view) ->
@@ -899,6 +953,25 @@ let soak seed n view_size lower_threshold d_hat delta loss rounds scenario toler
             if d < 0 || d > view_size || d mod 2 <> 0 then
               fail "cluster node %d: outdegree %d violates M1 bounds or parity" id d)
           (Sf_net.Cluster.views c))
+  end;
+  if multiproc then begin
+    Fmt.pr "-- multi-process cluster (forked node-hosts, kill -9 crash windows)@.";
+    let hosts = 4 and per_host = 16 in
+    let cfg =
+      Sf_net.Spawner.make_config ~view_size ~lower_threshold ~loss_rate:loss
+        ~period:0.01 ~log:(fun m -> Fmt.pr "  %s@." m) ~hosts
+        ~nodes_per_host:per_host ~base_port:(base_port + 256) ~scenario ~seed
+        ~duration:(float_of_int rounds *. 0.01) ()
+    in
+    let o = Sf_net.Spawner.run cfg in
+    Fmt.pr "processes:   %d kills, %d respawns, %d heartbeats, %.1fs wall@."
+      o.Sf_net.Spawner.kills o.Sf_net.Spawner.respawns o.Sf_net.Spawner.heartbeats
+      o.Sf_net.Spawner.wall_seconds;
+    check_cluster_outcome ~fail:(fail "%s") ~hosts ~n:(hosts * per_host) ~view_size o;
+    if declares "crash" scenario && o.Sf_net.Spawner.kills = 0 then
+      fail "crash windows declared but no host process was killed";
+    if declares "partition" scenario && sum_stat "filtered" o = 0. then
+      fail "partition windows declared but no datagram was filtered"
   end;
   match List.rev !failures with
   | [] -> Fmt.pr "soak: OK@."
@@ -921,6 +994,15 @@ let soak_cmd =
   let no_udp =
     Arg.(value & flag & info [ "no-udp" ] ~doc:"Skip the UDP cluster leg.")
   in
+  let multiproc_arg =
+    Arg.(
+      value & flag
+      & info [ "multiproc" ]
+          ~doc:
+            "Add a multi-process leg: fork node-host processes via the cluster \
+             spawner and run the same scenario across process boundaries, with \
+             crash windows realized as real kill -9 plus respawn.")
+  in
   let tolerance =
     Arg.(
       value & opt float 0.08
@@ -941,7 +1023,154 @@ let soak_cmd =
     Term.(
       const soak $ seed_arg $ n_small $ view_size_arg $ lower_threshold_arg
       $ d_hat_arg $ delta_arg $ loss_arg $ rounds_arg 200 $ scenario_arg $ tolerance
-      $ udp_nodes $ base_port $ no_udp)
+      $ udp_nodes $ base_port $ no_udp $ multiproc_arg)
+
+(* --- cluster: the multi-process UDP deployment --- *)
+
+let cluster seed hosts per_host view_size lower_threshold loss scenario base_port
+    rounds codec no_resilience quiet =
+  let n = hosts * per_host in
+  let period = 0.01 in
+  let scenario =
+    match scenario with
+    | Some sc -> sc
+    | None ->
+      (* Bursty loss throughout, plus a real kill -9 of host 1's slice for
+         a fifth of the run. *)
+      let spec =
+        Fmt.str "ge:0.15:6;crash@%d-%d:%d-%d" (rounds * 2 / 10) (rounds * 4 / 10)
+          per_host
+          (min (n - 1) ((2 * per_host) - 1))
+      in
+      (match Sf_faults.Scenario.of_string spec with
+      | Ok sc -> sc
+      | Error e -> Fmt.failwith "default cluster scenario: %s" e)
+  in
+  let version_of_host =
+    match codec with
+    | "v1" -> fun _ -> 1
+    | "v2" -> fun _ -> 2
+    | "mixed" -> fun i -> if i mod 2 = 0 then 2 else 1
+    | other -> Fmt.failwith "unknown --codec %s (expected v1, v2 or mixed)" other
+  in
+  Fmt.pr "cluster:     %d node-hosts x %d nodes = %d real sockets, codec %s@."
+    hosts per_host n codec;
+  Fmt.pr "scenario:    %s@." (Sf_faults.Scenario.to_string scenario);
+  let cfg =
+    Sf_net.Spawner.make_config ~view_size ~lower_threshold ~loss_rate:loss
+      ~period ~version_of_host ~resilience:(not no_resilience)
+      ~log:(if quiet then fun _ -> () else fun m -> Fmt.pr "  %s@." m)
+      ~hosts ~nodes_per_host:per_host ~base_port ~scenario ~seed
+      ~duration:(float_of_int rounds *. period) ()
+  in
+  let o = Sf_net.Spawner.run cfg in
+  let emitted = sum_stat "emitted" o in
+  let batches = sum_stat "batches" o in
+  let frames = sum_stat "frames" o in
+  let fill =
+    if batches > 0. then frames /. (batches *. float_of_int Sf_net.Codec.max_batch)
+    else 0.
+  in
+  Fmt.pr
+    "processes:   %d kills, %d respawns (%d heartbeat timeouts, %d unexpected \
+     deaths), %d heartbeats@."
+    o.Sf_net.Spawner.kills o.Sf_net.Spawner.respawns o.Sf_net.Spawner.hb_timeouts
+    o.Sf_net.Spawner.unexpected_deaths o.Sf_net.Spawner.heartbeats;
+  Fmt.pr
+    "wire:        %.0f datagrams (%.0f/s), %.0f batches carrying %.0f frames \
+     (fill %.2f), %.0f hellos@."
+    emitted
+    (emitted /. Float.max o.Sf_net.Spawner.wall_seconds 1e-9)
+    batches frames fill
+    (sum_stat "hellos_sent" o);
+  Fmt.pr "latency:     per-action p50 %.1fus, p99 %.1fus (worst host)@."
+    (max_stat "p50_us" o) (max_stat "p99_us" o);
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun m -> failures := m :: !failures) fmt in
+  check_cluster_outcome ~fail:(fail "%s") ~hosts ~n ~view_size o;
+  (* A declared fault class that left no process-level evidence is a dead
+     injector, not an invariant violation: distinct exit code, as in
+     storm/scale. *)
+  let dead = ref [] in
+  if declares "crash" scenario then begin
+    if o.Sf_net.Spawner.kills = 0 then
+      dead := "crash windows declared but no host was killed" :: !dead;
+    if o.Sf_net.Spawner.respawns = 0 then
+      dead := "crash windows declared but no host was respawned" :: !dead
+  end;
+  if declares "partition" scenario && sum_stat "filtered" o = 0. then
+    dead := "partition windows declared but no datagram was filtered" :: !dead;
+  match (List.rev !failures, List.rev !dead) with
+  | [], [] -> Fmt.pr "cluster: OK@."
+  | [], dead ->
+    List.iter (fun d -> Fmt.epr "cluster: %s@." d) dead;
+    exit 2
+  | failures, dead ->
+    List.iter (fun f -> Fmt.epr "cluster: %s@." f) failures;
+    List.iter (fun d -> Fmt.epr "cluster: %s@." d) dead;
+    exit 1
+
+let cluster_cmd =
+  let hosts =
+    Arg.(
+      value & opt int 8
+      & info [ "hosts" ] ~docv:"H" ~doc:"Node-host processes to fork.")
+  in
+  let per_host =
+    Arg.(
+      value & opt int 32
+      & info [ "per-host" ] ~docv:"K" ~doc:"Nodes (UDP sockets) per host.")
+  in
+  let base_port =
+    Arg.(
+      value & opt int 47_200
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "First node port; node i binds PORT+i, control sockets sit just \
+             below PORT.")
+  in
+  let codec =
+    Arg.(
+      value & opt string "v2"
+      & info [ "codec" ] ~docv:"V"
+          ~doc:
+            "Wire version per host: v1 (historical), v2 (batching), or mixed \
+             (alternating hosts, exercising per-peer downgrade).")
+  in
+  let no_resilience =
+    Arg.(
+      value & flag
+      & info [ "no-resilience" ] ~doc:"Disable retuning and supervised repair.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress controller progress lines.")
+  in
+  let view_size =
+    Arg.(
+      value & opt int 12
+      & info [ "s"; "view-size" ] ~docv:"S" ~doc:"View size s (even).")
+  in
+  let lower_threshold =
+    Arg.(
+      value & opt int 4
+      & info [ "dl"; "lower-threshold" ] ~docv:"DL"
+          ~doc:"Lower outdegree threshold dL (even).")
+  in
+  let doc =
+    "Multi-process UDP cluster: fork node-host processes (one select loop and \
+     one socket per node each), drive a fault scenario across process \
+     boundaries — crash windows are real kill -9 plus controller respawn, \
+     partitions are per-process drop filters — and gate on the merged result: \
+     every host completes the stop protocol, every node reports a sound view \
+     with even M1-bounded outdegree, and the merged overlay is weakly \
+     connected.  Exit status: 1 when the verdict fails, 2 when a declared \
+     fault class left no process-level evidence."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      const cluster $ seed_arg $ hosts $ per_host $ view_size $ lower_threshold
+      $ loss_arg $ scenario_arg $ base_port $ rounds_arg 200 $ codec
+      $ no_resilience $ quiet)
 
 (* --- sessions --- *)
 
@@ -1695,6 +1924,7 @@ let () =
         check_cmd;
         storm_cmd;
         soak_cmd;
+        cluster_cmd;
         udp_cmd;
         sessions_cmd;
         spread_cmd;

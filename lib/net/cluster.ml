@@ -1,625 +1,6 @@
-(* A real deployment of S&F over UDP: every node owns a datagram socket
-   bound to 127.0.0.1 on its own port, messages travel as actual datagrams,
-   and nodes initiate on jittered periodic timers — the "practical
-   implementation" the paper sketches in section 5, running on a real
-   network stack instead of the discrete-event simulator.
+(* The historical name of the single-process deployment: a {!Driver}
+   owning the whole id space.  All engine code lives in driver.ml; this
+   alias keeps every existing caller (tests, sfg gates, benches) on the
+   name they were written against. *)
 
-   The driver multiplexes all node sockets in one process with
-   [Unix.select]: wait for readable sockets or the next timer, drain
-   datagrams (sockets are non-blocking), decode and run the receive step,
-   then run the initiate steps that have come due.  Send-side loss
-   injection keeps loss experiments controlled even though loopback UDP
-   rarely drops on its own.
-
-   An optional fault scenario (lib/faults) generalizes the send-side loss
-   draw exactly as in the simulator: stateful loss processes, partitions,
-   crashes, delay spikes and datagram corruption, all driven by the same
-   [Sf_faults.Scenario] value a simulation uses.  The cluster's round clock
-   is elapsed time over the firing period.  Without a scenario the send
-   path performs the historical single Bernoulli draw per datagram.
-
-   Fire-and-forget UDP matches S&F's assumptions exactly: no connection
-   state, no retransmission, the sender never learns whether the message
-   arrived. *)
-
-(* Per-node resilience state (lib/resilience): each node runs its own loss
-   estimator over its own protocol counters — a deployed node has nobody
-   else's — and its own threshold controller. *)
-type node_resil = {
-  estimator : Sf_resil.Estimator.t;
-  controller : Sf_resil.Controller.t;
-  mutable last_sent : int;  (* counter baselines for estimator deltas *)
-  mutable last_duplications : int;
-  mutable last_deletions : int;
-}
-
-type node_state = {
-  node : Sf_core.Protocol.node;
-  (* Mutable: a crash-restart closes the socket for the duration of the
-     window and rebinds a fresh one on the same port at resume. *)
-  mutable socket : Unix.file_descr;
-  mutable next_fire : float;
-  (* The node's current thresholds; starts at the cluster config and
-     diverges under adaptive retuning. *)
-  mutable config : Sf_core.Protocol.config;
-  resil : node_resil option;
-  (* Crash-restart bookkeeping (resilience mode only). *)
-  mutable down : bool;       (* socket closed by an active crash window *)
-  mutable snapshot : int list;  (* bounded view snapshot taken at crash *)
-}
-
-(* A datagram held back by an active delay window: release time, sending
-   socket, wire bytes, destination. *)
-type delayed_datagram = {
-  release_at : float;
-  via : Unix.file_descr;
-  packet : bytes;
-  target : Unix.sockaddr;
-}
-
-type t = {
-  base_port : int;
-  period : float;
-  loss_rate : float;
-  (* Injected clock: tests drive virtual time; production uses
-     [Sf_obs.Clock.wall] — the tree's single sanctioned wall-clock
-     source. *)
-  now : unit -> float;
-  started : float;  (* clock reading at creation; trace stamps are rounds
-                       since then, matching the injector's round clock *)
-  rng : Sf_prng.Rng.t;
-  injector : Sf_faults.Injector.t option;
-  resilience : Sf_resil.Policy.t option;
-  nodes : node_state array;
-  (* Bumped whenever a socket is closed or rebound, so the run loop knows
-     to rebuild its select set. *)
-  mutable socket_generation : int;
-  read_buffer : bytes;
-  obs : Sf_obs.Obs.t;
-  (* Registry counters (one O(1) increment each, the same cost as the
-     mutable int fields they replaced); [statistics] reads them back. *)
-  c_sent : Sf_obs.Metrics.counter;
-  c_dropped : Sf_obs.Metrics.counter;  (* injected loss (any fault cause) *)
-  c_received : Sf_obs.Metrics.counter;
-  c_corrupted : Sf_obs.Metrics.counter;
-  c_delayed : Sf_obs.Metrics.counter;
-  c_crash_dropped : Sf_obs.Metrics.counter;
-  c_oversized : Sf_obs.Metrics.counter;
-  c_truncated : Sf_obs.Metrics.counter;
-  c_decode_errors : Sf_obs.Metrics.counter;
-  c_send_errors : Sf_obs.Metrics.counter;
-  c_rejoins : Sf_obs.Metrics.counter;  (* crash-restart rejoin recoveries *)
-  c_retunes : Sf_obs.Metrics.counter;  (* per-node threshold retunes *)
-  (* Codec profiling, timed with the injected clock. *)
-  encode_span : Sf_obs.Span.t;
-  decode_span : Sf_obs.Span.t;
-  mutable delayed : delayed_datagram list;
-  mutable next_serial : int;
-  mutable actions : int;
-}
-
-let address_of t node_id =
-  Unix.ADDR_INET (Unix.inet_addr_loopback, t.base_port + node_id)
-
-let fresh_serial t =
-  let s = t.next_serial in
-  t.next_serial <- s + 1;
-  s
-
-let create ?(period = 0.01) ?(now = Sf_obs.Clock.wall) ?scenario ?obs ?resilience
-    ~base_port ~n ~config ~loss_rate ~seed ~topology () =
-  if n <= 0 then invalid_arg "Cluster.create: need at least one node";
-  if base_port < 1024 || base_port + n > 65_535 then
-    invalid_arg "Cluster.create: port range out of bounds";
-  let rng = Sf_prng.Rng.create seed in
-  let obs = match obs with Some o -> o | None -> Sf_obs.Obs.create () in
-  let metrics = Sf_obs.Obs.metrics obs in
-  let injector =
-    Option.map
-      (fun sc -> Sf_faults.Injector.create ~metrics ~scenario:sc ~n ())
-      scenario
-  in
-  let start = now () in
-  let t =
-    {
-      base_port;
-      period;
-      loss_rate;
-      now;
-      started = start;
-      rng;
-      injector;
-      resilience;
-      nodes = [||];
-      socket_generation = 0;
-      read_buffer = Bytes.create Codec.recv_buffer_size;
-      obs;
-      c_sent = Sf_obs.Metrics.counter metrics "cluster_datagrams_sent";
-      c_dropped = Sf_obs.Metrics.counter metrics "cluster_datagrams_dropped";
-      c_received = Sf_obs.Metrics.counter metrics "cluster_datagrams_received";
-      c_corrupted = Sf_obs.Metrics.counter metrics "cluster_datagrams_corrupted";
-      c_delayed = Sf_obs.Metrics.counter metrics "cluster_datagrams_delayed";
-      c_crash_dropped =
-        Sf_obs.Metrics.counter metrics "cluster_datagrams_crash_dropped";
-      c_oversized = Sf_obs.Metrics.counter metrics "cluster_datagrams_oversized";
-      c_truncated = Sf_obs.Metrics.counter metrics "cluster_datagrams_truncated";
-      c_decode_errors = Sf_obs.Metrics.counter metrics "cluster_decode_errors";
-      c_send_errors = Sf_obs.Metrics.counter metrics "cluster_send_errors";
-      c_rejoins = Sf_obs.Metrics.counter metrics "cluster_rejoins";
-      c_retunes = Sf_obs.Metrics.counter metrics "cluster_retunes";
-      encode_span = Sf_obs.Span.create ~clock:now metrics "codec_encode_seconds";
-      decode_span = Sf_obs.Span.create ~clock:now metrics "codec_decode_seconds";
-      delayed = [];
-      next_serial = 0;
-      actions = 0;
-    }
-  in
-  (* One round of the scenario clock = one firing period elapsed. *)
-  Option.iter
-    (fun inj ->
-      Sf_faults.Injector.set_clock inj (fun () -> (now () -. start) /. period))
-    injector;
-  (* Track every socket opened so far: if node k's bind (or anything after
-     it) fails, the k sockets already open must not leak. *)
-  let opened = ref [] in
-  let make_node node_id =
-    let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
-    opened := socket :: !opened;
-    Unix.set_nonblock socket;
-    Unix.setsockopt socket Unix.SO_REUSEADDR true;
-    Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + node_id));
-    let node = Sf_core.Protocol.create_node ~config ~node_id in
-    List.iter
-      (fun v ->
-        match Sf_core.View.random_empty_slot node.Sf_core.Protocol.view rng with
-        | None -> invalid_arg "Cluster.create: topology exceeds view size"
-        | Some slot ->
-          Sf_core.View.set node.Sf_core.Protocol.view slot
-            { Sf_core.View.id = v; serial = fresh_serial t; anchor = None; born = 0 })
-      (topology node_id);
-    {
-      node;
-      socket;
-      (* Stagger first firings across one period. *)
-      next_fire = start +. (period *. Sf_prng.Rng.float rng);
-      config;
-      resil =
-        Option.map
-          (fun policy ->
-            {
-              estimator = Sf_resil.Policy.estimator policy;
-              controller =
-                Sf_resil.Policy.controller policy
-                  ~initial:
-                    ( config.Sf_core.Protocol.lower_threshold,
-                      config.Sf_core.Protocol.view_size )
-                  ~capacity:config.Sf_core.Protocol.view_size;
-              last_sent = 0;
-              last_duplications = 0;
-              last_deletions = 0;
-            })
-          resilience;
-      down = false;
-      snapshot = [];
-    }
-  in
-  match Array.init n make_node with
-  | nodes -> { t with nodes }
-  | exception e ->
-    List.iter
-      (fun socket -> try Unix.close socket with Unix.Unix_error _ -> ())
-      !opened;
-    raise e
-
-let node_count t = Array.length t.nodes
-
-let shutdown t =
-  Array.iter
-    (fun ns -> try Unix.close ns.socket with Unix.Unix_error _ -> ())
-    t.nodes
-
-let is_crashed t node_id =
-  match t.injector with
-  | None -> false
-  | Some injector -> Sf_faults.Injector.is_crashed injector node_id
-
-(* Trace stamps are rounds since creation — the same unit as the
-   injector's round clock, and derived from the injected [now] so
-   virtual-clock tests stay deterministic. *)
-let trace t event =
-  if Sf_obs.Obs.tracing t.obs then
-    Sf_obs.Obs.trace t.obs ~now:((t.now () -. t.started) /. t.period) event
-
-(* A signal landing mid-sendto must not cost the datagram: retry on EINTR
-   (the kernel sent nothing), count everything else as a send error —
-   including ECONNREFUSED, which on loopback means a previous datagram
-   bounced off a closed (crashed) port. *)
-let rec transmit t ~via ~packet ~target =
-  try ignore (Unix.sendto via packet 0 (Bytes.length packet) [] target) with
-  | Unix.Unix_error (Unix.EINTR, _, _) -> transmit t ~via ~packet ~target
-  | Unix.Unix_error _ -> Sf_obs.Metrics.incr t.c_send_errors
-
-(* Clamp a controller target (dL, s) to this node: s never drops below the
-   current outdegree (nothing is evicted; the receive rule stops accepting
-   until decay catches up) nor rises above the allocated view, and dL must
-   stay a valid even value in [0, s - 6]. *)
-let clamped_config ~capacity ~degree (dl, s) =
-  let even_up x = if x land 1 = 0 then x else x + 1 in
-  let s = min capacity (max s (max 6 (even_up degree))) in
-  let dl = max 0 (min dl (s - 6)) in
-  let dl = if dl land 1 = 0 then dl else dl - 1 in
-  Sf_core.Protocol.make_config ~view_size:s ~lower_threshold:dl
-
-(* Per-node resilience tick, run after each initiation: feed the node's
-   estimator from its own counters, and let its controller walk (dL, s)
-   toward the section 6.3 solution for the estimated loss.  The
-   controller's cooldown is counted in these ticks, i.e. in firings. *)
-let resil_tick t (ns : node_state) =
-  match ns.resil with
-  | None -> ()
-  | Some nr ->
-    let node = ns.node in
-    let sent = node.Sf_core.Protocol.messages_sent in
-    let dups = node.Sf_core.Protocol.duplications in
-    let dels = node.Sf_core.Protocol.deletions in
-    Sf_resil.Estimator.observe nr.estimator ~sends:(sent - nr.last_sent)
-      ~duplications:(dups - nr.last_duplications)
-      ~deletions:(dels - nr.last_deletions) ();
-    nr.last_sent <- sent;
-    nr.last_duplications <- dups;
-    nr.last_deletions <- dels;
-    match t.resilience with
-    | Some policy
-      when policy.Sf_resil.Policy.retune
-           && Sf_resil.Estimator.confident nr.estimator -> (
-      match
-        Sf_resil.Controller.decide nr.controller
-          ~loss:(Sf_resil.Estimator.estimate nr.estimator)
-      with
-      | None -> ()
-      | Some pair ->
-        ns.config <-
-          clamped_config
-            ~capacity:(Sf_core.View.size node.Sf_core.Protocol.view)
-            ~degree:(Sf_core.Protocol.degree node) pair;
-        Sf_obs.Metrics.incr t.c_retunes;
-        trace t (Sf_obs.Trace.Mark { label = "retune" }))
-    | _ -> ()
-
-(* One initiate step at [ns]; the message goes out as a datagram unless the
-   loss draw — or an active fault window — eats it. *)
-let fire t ns =
-  t.actions <- t.actions + 1;
-  trace t (Sf_obs.Trace.Timer { node = ns.node.Sf_core.Protocol.node_id });
-  match
-    Sf_core.Protocol.initiate ns.config t.rng ~fresh_serial:(fun () -> fresh_serial t)
-      ~clock:t.actions ns.node
-  with
-  | Sf_core.Protocol.Self_loop -> ()
-  | Sf_core.Protocol.Send { destination; message; duplicated } -> (
-    let src = ns.node.Sf_core.Protocol.node_id in
-    Sf_obs.Metrics.incr t.c_sent;
-    trace t (Sf_obs.Trace.Send { src; dst = destination; duplicated });
-    let verdict =
-      match t.injector with
-      | None ->
-        if Sf_prng.Rng.bernoulli t.rng t.loss_rate then `Drop else `Deliver
-      | Some injector -> (
-        match
-          Sf_faults.Injector.judge injector t.rng ~chance:t.loss_rate ~src
-            ~dst:destination
-        with
-        | Sf_faults.Injector.Deliver -> `Deliver
-        | Sf_faults.Injector.Corrupt_payload -> `Corrupt
-        | Sf_faults.Injector.Drop _ -> `Drop)
-    in
-    match verdict with
-    | `Drop ->
-      Sf_obs.Metrics.incr t.c_dropped;
-      trace t (Sf_obs.Trace.Drop { src; dst = destination; cause = "injected" })
-    | (`Deliver | `Corrupt) as fate ->
-      if destination >= 0 && destination < Array.length t.nodes then begin
-        let packet = Sf_obs.Span.time t.encode_span (fun () -> Codec.encode message) in
-        (match fate with
-        | `Corrupt ->
-          (* Flip the magic byte: real corrupted bytes on the wire, which
-             the receiving codec rejects — the datagram is spent but the
-             error path is exercised. *)
-          Sf_obs.Metrics.incr t.c_corrupted;
-          Bytes.set packet 0
-            (Char.chr (Char.code (Bytes.get packet 0) lxor 0xff))
-        | `Deliver -> ());
-        let delay_factor =
-          match t.injector with
-          | None -> 1.0
-          | Some injector -> Sf_faults.Injector.delay_factor injector
-        in
-        if delay_factor > 1.0 then begin
-          (* Loopback latency is negligible, so a delay window holds the
-             datagram for [factor] firing periods instead. *)
-          Sf_obs.Metrics.incr t.c_delayed;
-          t.delayed <-
-            {
-              release_at = t.now () +. (delay_factor *. t.period);
-              via = ns.socket;
-              packet;
-              target = address_of t destination;
-            }
-            :: t.delayed
-        end
-        else transmit t ~via:ns.socket ~packet ~target:(address_of t destination)
-      end)
-
-let flush_delayed t ~now =
-  match t.delayed with
-  | [] -> ()
-  | delayed ->
-    let due, pending = List.partition (fun d -> d.release_at <= now) delayed in
-    t.delayed <- pending;
-    (* The list is newest-first; release oldest-first. *)
-    List.iter
-      (fun d -> transmit t ~via:d.via ~packet:d.packet ~target:d.target)
-      (List.rev due)
-
-(* Drain every pending datagram on a readable socket.  A crashed receiver
-   discards instead of processing: messages arriving during the window are
-   lost, not queued for the resume. *)
-let drain t ns =
-  let continue = ref true in
-  while !continue do
-    match Unix.recvfrom ns.socket t.read_buffer 0 (Bytes.length t.read_buffer) [] with
-    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
-      continue := false
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
-      (* Linux loopback: a pending ICMP port-unreachable (our earlier
-         datagram to a crashed node's closed port) can surface here; it
-         carries no datagram, so keep draining. *)
-      ()
-    | length, _from ->
-      let dst = ns.node.Sf_core.Protocol.node_id in
-      if is_crashed t dst then begin
-        Sf_obs.Metrics.incr t.c_crash_dropped;
-        trace t (Sf_obs.Trace.Drop { src = -1; dst; cause = "crash" })
-      end
-      else begin
-        Sf_obs.Metrics.incr t.c_received;
-        if length > Codec.message_size then
-          (* Only possible for foreign traffic: our codec never produces
-             it, and the buffer headroom makes it observable. *)
-          Sf_obs.Metrics.incr t.c_oversized
-        else
-          match
-            Sf_obs.Span.time t.decode_span (fun () ->
-                Codec.decode t.read_buffer ~length)
-          with
-          | Ok message ->
-            trace t (Sf_obs.Trace.Deliver { dst; accepted = true });
-            ignore (Sf_core.Protocol.receive ns.config t.rng ns.node message)
-          | Error (Codec.Too_short _) ->
-            Sf_obs.Metrics.incr t.c_truncated;
-            trace t (Sf_obs.Trace.Deliver { dst; accepted = false })
-          | Error _ ->
-            Sf_obs.Metrics.incr t.c_decode_errors;
-            trace t (Sf_obs.Trace.Deliver { dst; accepted = false })
-      end
-  done
-
-(* --- Crash-restart with state recovery (resilience mode only) ---
-
-   Without resilience a crash window only freezes the node (timers skip,
-   arrivals are discarded) — the socket stays bound and the view survives,
-   which models a paused process.  With resilience the crash is real:
-   entering the window saves a bounded snapshot of the view (up to dL ids,
-   the same bound the section 5 joining rule donates) and closes the
-   socket, so in-flight datagrams bounce off a dead port; leaving it
-   rebinds a fresh socket on the same port and rejoins by reinstalling the
-   snapshot as fresh instances — falling back to copying a live
-   neighbour's view (the paper's "copy another node's view" rule) when the
-   snapshot is empty. *)
-
-let rec take k = function
-  | [] -> []
-  | _ when k <= 0 -> []
-  | x :: tl -> x :: take (k - 1) tl
-
-let crash_down t (ns : node_state) =
-  let keep = max 2 ns.config.Sf_core.Protocol.lower_threshold in
-  ns.snapshot <- take keep (Sf_core.View.ids ns.node.Sf_core.Protocol.view);
-  (try Unix.close ns.socket with Unix.Unix_error _ -> ());
-  ns.down <- true;
-  t.socket_generation <- t.socket_generation + 1;
-  trace t (Sf_obs.Trace.Mark { label = "crash_down" })
-
-let rejoin t (ns : node_state) =
-  let node_id = ns.node.Sf_core.Protocol.node_id in
-  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
-  Unix.set_nonblock socket;
-  Unix.setsockopt socket Unix.SO_REUSEADDR true;
-  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_loopback, t.base_port + node_id));
-  ns.socket <- socket;
-  (* Ids to rejoin with: the crash snapshot, else a live neighbour's view. *)
-  let donor_ids () =
-    let n = Array.length t.nodes in
-    let rec pick tries =
-      if tries = 0 then []
-      else
-        let candidate = t.nodes.(Sf_prng.Rng.int t.rng n) in
-        if candidate.node.Sf_core.Protocol.node_id <> node_id && not candidate.down
-        then
-          candidate.node.Sf_core.Protocol.node_id
-          :: List.filter
-               (fun id -> id <> node_id)
-               (Sf_core.View.ids candidate.node.Sf_core.Protocol.view)
-        else pick (tries - 1)
-    in
-    pick 8
-  in
-  let ids = match ns.snapshot with [] -> donor_ids () | ids -> ids in
-  let view = ns.node.Sf_core.Protocol.view in
-  Sf_core.View.clear_all view;
-  let keep = max 2 ns.config.Sf_core.Protocol.lower_threshold in
-  let ids = take (min keep (Sf_core.View.size view)) ids in
-  (* Even outdegree on rejoin (Observation 5.1): keep the even prefix. *)
-  let ids = take (List.length ids land lnot 1) ids in
-  List.iteri
-    (fun slot id ->
-      Sf_core.View.set view slot
-        { Sf_core.View.id; serial = fresh_serial t; anchor = None; born = t.actions })
-    ids;
-  ns.down <- false;
-  ns.snapshot <- [];
-  t.socket_generation <- t.socket_generation + 1;
-  Sf_obs.Metrics.incr t.c_rejoins;
-  trace t (Sf_obs.Trace.Mark { label = "rejoin" })
-
-let sync_crash_states t =
-  if Option.is_some t.resilience then
-    Array.iter
-      (fun ns ->
-        let crashed = is_crashed t ns.node.Sf_core.Protocol.node_id in
-        if crashed && not ns.down then crash_down t ns
-        else if (not crashed) && ns.down then rejoin t ns)
-      t.nodes
-
-(* Run the cluster for [duration] wall-clock seconds. *)
-let run t ~duration =
-  let deadline = t.now () +. duration in
-  (* The select set excludes crashed (closed) sockets and is rebuilt
-     whenever a crash-restart closes or rebinds one. *)
-  let select_set () =
-    let by_socket = Hashtbl.create (Array.length t.nodes) in
-    let sockets =
-      Array.to_list t.nodes
-      |> List.filter_map (fun ns ->
-             if ns.down then None
-             else begin
-               Hashtbl.replace by_socket ns.socket ns;
-               Some ns.socket
-             end)
-    in
-    (sockets, by_socket)
-  in
-  let generation = ref t.socket_generation in
-  let index = ref (select_set ()) in
-  let rec loop () =
-    let now = t.now () in
-    if now >= deadline then ()
-    else begin
-      (match t.injector with
-      | None -> ()
-      | Some injector -> Sf_faults.Injector.refresh injector);
-      sync_crash_states t;
-      if t.socket_generation <> !generation then begin
-        generation := t.socket_generation;
-        index := select_set ()
-      end;
-      flush_delayed t ~now;
-      (* Fire all due timers, rescheduling with jitter.  A crashed node
-         skips its initiation but keeps its timer running, so it resumes —
-         restored from its snapshot (resilience) or with its stale view —
-         when the window closes. *)
-      Array.iter
-        (fun ns ->
-          if ns.next_fire <= now then begin
-            if not (is_crashed t ns.node.Sf_core.Protocol.node_id) then begin
-              fire t ns;
-              resil_tick t ns
-            end;
-            ns.next_fire <-
-              now +. (t.period *. (0.9 +. (0.2 *. Sf_prng.Rng.float t.rng)))
-          end)
-        t.nodes;
-      let next_timer =
-        Array.fold_left (fun acc ns -> Float.min acc ns.next_fire) infinity t.nodes
-      in
-      let next_release =
-        List.fold_left (fun acc d -> Float.min acc d.release_at) infinity t.delayed
-      in
-      let next_event = Float.min next_timer next_release in
-      let timeout = Float.max 0. (Float.min (next_event -. now) (deadline -. now)) in
-      let sockets, by_socket = !index in
-      (* EINTR: a signal (SIGALRM, SIGCHLD, a profiler tick) interrupting
-         the wait is routine, not an error; EAGAIN is how some kernels
-         report a transient resource squeeze on select.  Both mean "try
-         again" — the deadline check at the loop head bounds the retry. *)
-      match Unix.select sockets [] [] timeout with
-      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> loop ()
-      | readable, _, _ ->
-        List.iter
-          (fun socket ->
-            match Hashtbl.find_opt by_socket socket with
-            | Some ns -> drain t ns
-            | None -> ())
-          readable;
-        loop ()
-    end
-  in
-  loop ()
-
-(* --- Measurement (mirrors the simulator's monitors) --- *)
-
-let views t =
-  Array.to_seq t.nodes
-  |> Seq.map (fun ns -> (ns.node.Sf_core.Protocol.node_id, ns.node.Sf_core.Protocol.view))
-
-let outdegree_summary t =
-  let summary = Sf_stats.Summary.create () in
-  Array.iter
-    (fun ns -> Sf_stats.Summary.add_int summary (Sf_core.Protocol.degree ns.node))
-    t.nodes;
-  summary
-
-let independence_census t = Sf_core.Census.of_views (views t)
-
-let membership_graph t =
-  let g = Sf_graph.Digraph.create () in
-  Array.iter
-    (fun ns ->
-      Sf_graph.Digraph.ensure_vertex g ns.node.Sf_core.Protocol.node_id;
-      Sf_core.View.iter
-        (fun _ e ->
-          Sf_graph.Digraph.add_edge g ns.node.Sf_core.Protocol.node_id e.Sf_core.View.id)
-        ns.node.Sf_core.Protocol.view)
-    t.nodes;
-  g
-
-let is_weakly_connected t = Sf_graph.Digraph.is_weakly_connected (membership_graph t)
-
-let fault_statistics t = Option.map Sf_faults.Injector.statistics t.injector
-
-type statistics = {
-  actions : int;
-  datagrams_sent : int;
-  datagrams_dropped : int;
-  datagrams_received : int;
-  datagrams_corrupted : int;
-  datagrams_delayed : int;
-  datagrams_crash_dropped : int;
-  datagrams_oversized : int;
-  datagrams_truncated : int;
-  decode_errors : int;
-  send_errors : int;
-  rejoins : int;
-  retunes : int;
-}
-
-let statistics (t : t) =
-  let count = Sf_obs.Metrics.count in
-  {
-    actions = t.actions;
-    datagrams_sent = count t.c_sent;
-    datagrams_dropped = count t.c_dropped;
-    datagrams_received = count t.c_received;
-    datagrams_corrupted = count t.c_corrupted;
-    datagrams_delayed = count t.c_delayed;
-    datagrams_crash_dropped = count t.c_crash_dropped;
-    datagrams_oversized = count t.c_oversized;
-    datagrams_truncated = count t.c_truncated;
-    decode_errors = count t.c_decode_errors;
-    send_errors = count t.c_send_errors;
-    rejoins = count t.c_rejoins;
-    retunes = count t.c_retunes;
-  }
-
-let obs t = t.obs
+include Driver

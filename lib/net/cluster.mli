@@ -1,11 +1,12 @@
-(** A real S&F deployment over UDP on the loopback interface: one datagram
-    socket per node, jittered periodic initiations, a select-based driver —
-    the paper's "practical implementation" on an actual network stack.
+(** A real S&F deployment over UDP on the loopback interface — the
+    historical name of the select-loop engine, which now lives in
+    {!Driver} so node-host processes can reuse it.  [Cluster] is [Driver]
+    whole: one process owning the full id space (the default [?first] and
+    [?count]).  See {!Driver} for the full documentation of every
+    operation, the v2 batching/negotiation machinery, and the
+    multi-process slicing parameters. *)
 
-    Intended for moderate cluster sizes (select(2) limits the driver to a
-    few hundred sockets per process). *)
-
-type t
+type t = Driver.t
 
 val create :
   ?period:float ->
@@ -13,6 +14,11 @@ val create :
   ?scenario:Sf_faults.Scenario.t ->
   ?obs:Sf_obs.Obs.t ->
   ?resilience:Sf_resil.Policy.t ->
+  ?version:int ->
+  ?first:int ->
+  ?count:int ->
+  ?serial_stride:int ->
+  ?serial_offset:int ->
   base_port:int ->
   n:int ->
   config:Sf_core.Protocol.config ->
@@ -21,86 +27,52 @@ val create :
   topology:Sf_core.Topology.t ->
   unit ->
   t
-(** Bind [n] UDP sockets on 127.0.0.1 ports [base_port .. base_port+n-1]
-    and seed the views from [topology]. [period] is the mean time between a
-    node's initiations in seconds (default 10 ms). [loss_rate] is injected
-    at the sender (loopback UDP rarely drops on its own). [now] is the
-    clock driving timers and deadlines — {!Sf_obs.Clock.wall} by default;
-    inject a virtual clock to make runs time-deterministic in tests.
-
-    [obs] is the observability bundle: all [cluster_*] counters and the
-    [codec_*_seconds] span histograms land in its registry (a private one
-    when omitted), and — when a tracer is attached — datagram events are
-    recorded, stamped in rounds of the injected clock since creation.
-
-    [scenario] routes every datagram through the same fault plan the
-    simulator uses ({!Sf_faults.Scenario}): bursty loss, partitions,
-    crashes (frozen timers, arriving datagrams discarded), delay windows
-    (datagrams held for [factor] firing periods — loopback latency is
-    negligible) and corruption (real byte flips on the wire, rejected by
-    the receiving {!Codec}).  One round of the scenario clock = one firing
-    [period] elapsed.  Omitting the scenario — or passing
-    {!Sf_faults.Scenario.default} — keeps the historical single Bernoulli
-    draw per datagram.
-
-    [resilience] installs the self-healing layer (lib/resilience), with
-    two visible effects.  (1) Adaptive retuning: each node runs its own
-    loss estimator over its own protocol counters and its own controller,
-    so (dL, s) become per-node quantities walking toward the section 6.3
-    solution for the estimated loss ([cluster_retunes]).  (2) Real
-    crash-restarts: entering a crash window saves a bounded view snapshot
-    (up to dL ids) and closes the node's socket — in-flight datagrams
-    bounce off a dead port — and leaving it rebinds a fresh socket on the
-    same port and rejoins via the section 5 joining rule, from the
-    snapshot or, failing that, a copy of a live neighbour's view
-    ([cluster_rejoins]).  Without the option a crash window merely
-    freezes the node, as before.
-
-    If any socket operation fails mid-construction, every socket already
-    opened is closed before the exception propagates. *)
+(** {!Driver.create}.  With the defaults ([version = 1], the whole id
+    space) this binds [n] UDP sockets on ports [base_port .. base_port +
+    n - 1] and behaves byte-for-byte like the pre-[Driver] cluster. *)
 
 val node_count : t -> int
-
+val owned_range : t -> int * int
 val run : t -> duration:float -> unit
-(** Drive the cluster for [duration] wall-clock seconds. *)
-
+val request_stop : t -> unit
+val add_channel : t -> Unix.file_descr -> (unit -> unit) -> unit
+val add_periodic : t -> every:float -> (unit -> unit) -> unit
+val set_partition_filter : t -> parts:int option -> unit
 val shutdown : t -> unit
-(** Close every socket. *)
-
 val views : t -> (int * Sf_core.View.t) Seq.t
-(** Per-node views, for external invariant checks. *)
-
 val is_crashed : t -> int -> bool
-(** [true] while the fault scenario holds the id inside an active crash
-    window (always [false] without a scenario). *)
-
 val outdegree_summary : t -> Sf_stats.Summary.t
 val independence_census : t -> Sf_core.Census.t
 val membership_graph : t -> Sf_graph.Digraph.t
 val is_weakly_connected : t -> bool
-
 val fault_statistics : t -> Sf_faults.Injector.stats option
-(** Fault-injection counters, when a scenario is installed. *)
 
-type statistics = {
+type statistics = Driver.statistics = {
   actions : int;
   datagrams_sent : int;
-  datagrams_dropped : int;       (** send-side injected loss, any fault cause *)
+  datagrams_dropped : int;
   datagrams_received : int;
-  datagrams_corrupted : int;     (** sent with flipped bytes (corrupt windows) *)
-  datagrams_delayed : int;       (** held back by a delay window *)
-  datagrams_crash_dropped : int; (** discarded on arrival at a crashed node *)
-  datagrams_oversized : int;     (** longer than {!Codec.message_size} *)
-  datagrams_truncated : int;     (** shorter than {!Codec.message_size} *)
-  decode_errors : int;           (** right-sized but undecodable (magic/version) *)
+  datagrams_corrupted : int;
+  datagrams_delayed : int;
+  datagrams_crash_dropped : int;
+  datagrams_oversized : int;
+  datagrams_truncated : int;
+  decode_errors : int;
   send_errors : int;
-  rejoins : int;                 (** crash-restart recoveries (resilience mode) *)
-  retunes : int;                 (** per-node threshold retunes (resilience mode) *)
+  rejoins : int;
+  retunes : int;
+  datagrams_emitted : int;
+  messages_received : int;
+  batches_sent : int;
+  frames_sent : int;
+  hellos_sent : int;
+  hellos_received : int;
+  frames_crc_rejected : int;
+  datagrams_filtered : int;
+  repair_attempts : int;
+  recoveries : int;
 }
 
 val statistics : t -> statistics
-(** Thin reads of the registry counters (plus the action count). *)
-
 val obs : t -> Sf_obs.Obs.t
-(** The cluster's observability bundle (the one passed to {!create}, or
-    the private default). *)
+val action_latency_quantile : t -> float -> float

@@ -1,0 +1,160 @@
+(** The reusable UDP select-loop driver behind every real S&F deployment:
+    one datagram socket per owned node on the loopback interface, jittered
+    periodic initiations, send-side fault injection.
+
+    A driver owns a contiguous slice [first, first + count) of a global id
+    space of [n] nodes, all sharing one port map (node [i] lives at
+    [base_port + i] in whichever process owns it).  {!Cluster} is the
+    whole-space slice in one process — the historical deployment —
+    and {!Nodehost} wraps a slice in a controllable process of its own.
+
+    Intended for moderate slice sizes (select(2) limits a driver to a few
+    hundred sockets per process); a multi-process cluster composes slices
+    to reach thousands of sockets. *)
+
+type t
+
+val create :
+  ?period:float ->
+  ?now:(unit -> float) ->
+  ?scenario:Sf_faults.Scenario.t ->
+  ?obs:Sf_obs.Obs.t ->
+  ?resilience:Sf_resil.Policy.t ->
+  ?version:int ->
+  ?first:int ->
+  ?count:int ->
+  ?serial_stride:int ->
+  ?serial_offset:int ->
+  base_port:int ->
+  n:int ->
+  config:Sf_core.Protocol.config ->
+  loss_rate:float ->
+  seed:int ->
+  topology:Sf_core.Topology.t ->
+  unit ->
+  t
+(** Bind UDP sockets on 127.0.0.1 ports [base_port + first .. base_port +
+    first + count - 1] (the owned slice; [first] defaults to 0 and [count]
+    to [n - first], i.e. the whole space) and seed the owned views from
+    [topology], which maps {e global} ids and must be identical in every
+    process of a multi-process cluster.  [period] is the mean time between
+    a node's initiations in seconds (default 10 ms).  [loss_rate] is
+    injected at the sender (loopback UDP rarely drops on its own).  [now]
+    is the clock driving timers and deadlines — {!Sf_obs.Clock.wall} by
+    default; inject a virtual clock to make runs time-deterministic in
+    tests.
+
+    [version] selects the wire ceiling: [1] (default) replays the
+    historical one-message-per-datagram deployment byte-for-byte; [2]
+    batches messages per destination into {!Codec} v2 datagrams once the
+    peer is known to speak v2, negotiated per-peer by hello datagrams —
+    unknown peers get v1 frames (safe for real v1 processes) plus a capped
+    number of hellos advertising this driver's port slice; v2 peers reply
+    and upgrade, silent peers downgrade permanently at the cap, so mixed
+    v1/v2 clusters interoperate with zero lost traffic.
+
+    [serial_stride]/[serial_offset] stride the minted serials
+    ([k * stride + offset]): sibling processes use stride = process count
+    and distinct offsets so concurrently minted serials never collide
+    cluster-wide.
+
+    [obs] is the observability bundle: all [cluster_*] counters, the
+    [codec_*_seconds] spans and the [cluster_action_seconds] per-action
+    latency histogram land in its registry (a private one when omitted).
+
+    [scenario] routes every datagram through the same fault plan the
+    simulator uses ({!Sf_faults.Scenario}); one round of the scenario
+    clock = one firing [period] elapsed.  [resilience] installs the
+    self-healing layer: per-node estimator/controller retuning, real
+    crash-restarts with socket rebinds, and — when the policy's [recover]
+    is set — a supervised repair probe that rebootstraps isolated
+    (degree-0) owned nodes from a live sibling's view under capped
+    backoff.
+
+    If any socket operation fails mid-construction, every socket already
+    opened is closed before the exception propagates. *)
+
+val node_count : t -> int
+(** Owned nodes (the slice size). *)
+
+val owned_range : t -> int * int
+(** [(first, count)]: the owned slice of the global id space. *)
+
+val run : t -> duration:float -> unit
+(** Drive the loop for [duration] seconds of the injected clock, or until
+    {!request_stop}. *)
+
+val request_stop : t -> unit
+(** Make the current {!run} return at its next loop head (idempotent;
+    typically called from a control-channel callback or signal handler). *)
+
+val add_channel : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Put [fd] in the select set; the callback must drain it (it runs once
+    per readable wakeup).  This is how a node-host listens to stdin and
+    its control socket without a second loop. *)
+
+val add_periodic : t -> every:float -> (unit -> unit) -> unit
+(** Run a callback every [every] seconds of the injected clock while the
+    loop runs (heartbeats, progress reports). *)
+
+val set_partition_filter : t -> parts:int option -> unit
+(** The cross-process form of a partition window: with [Some parts] the
+    send path drops datagrams crossing block boundaries, blocks computed
+    from global ids by the injector's partition arithmetic (identical in
+    every process, so no coordination is needed).  [None] heals.  Raises
+    [Invalid_argument] when [parts < 2]. *)
+
+val shutdown : t -> unit
+(** Close every owned socket. *)
+
+val views : t -> (int * Sf_core.View.t) Seq.t
+(** Owned nodes' views, for external invariant checks. *)
+
+val is_crashed : t -> int -> bool
+(** [true] while the fault scenario holds the id inside an active crash
+    window (always [false] without a scenario). *)
+
+val outdegree_summary : t -> Sf_stats.Summary.t
+val independence_census : t -> Sf_core.Census.t
+val membership_graph : t -> Sf_graph.Digraph.t
+val is_weakly_connected : t -> bool
+
+val fault_statistics : t -> Sf_faults.Injector.stats option
+(** Fault-injection counters, when a scenario is installed. *)
+
+type statistics = {
+  actions : int;
+  datagrams_sent : int;           (** protocol messages offered to the wire *)
+  datagrams_dropped : int;        (** send-side injected loss, any fault cause *)
+  datagrams_received : int;       (** datagrams arriving at owned sockets *)
+  datagrams_corrupted : int;      (** sent with flipped bytes (corrupt windows) *)
+  datagrams_delayed : int;        (** held back by a delay window *)
+  datagrams_crash_dropped : int;  (** discarded on arrival at a crashed node *)
+  datagrams_oversized : int;      (** longer than the wire format allows *)
+  datagrams_truncated : int;      (** shorter than their layout declares *)
+  decode_errors : int;            (** undecodable (magic/version/kind) *)
+  send_errors : int;
+  rejoins : int;                  (** crash-restart recoveries (resilience mode) *)
+  retunes : int;                  (** per-node threshold retunes (resilience mode) *)
+  datagrams_emitted : int;        (** datagrams actually sent (batches coalesce) *)
+  messages_received : int;        (** decoded protocol messages (frames add up) *)
+  batches_sent : int;             (** v2 batch datagrams *)
+  frames_sent : int;              (** messages carried inside those batches *)
+  hellos_sent : int;
+  hellos_received : int;
+  frames_crc_rejected : int;      (** single frames rejected by their CRC *)
+  datagrams_filtered : int;       (** dropped by the cross-process partition filter *)
+  repair_attempts : int;          (** supervised rebootstrap attempts *)
+  recoveries : int;               (** repair attempts confirmed by a later probe *)
+}
+
+val statistics : t -> statistics
+(** Thin reads of the registry counters (plus the action count). *)
+
+val obs : t -> Sf_obs.Obs.t
+(** The driver's observability bundle (the one passed to {!create}, or
+    the private default). *)
+
+val action_latency_quantile : t -> float -> float
+(** Quantile (in seconds) of the per-initiate-action latency histogram;
+    [nan] before any action fires. *)

@@ -1,0 +1,242 @@
+(* A node-host: one OS process running a slice of the global id space
+   inside one {!Driver} select loop, controllable from outside.
+
+   The host is the unit the multi-process cluster is built from: the
+   spawner ({!Spawner}) forks dozens of these, each owning
+   [nodes_per_host] nodes, all sharing one port map — node [i] lives at
+   [base_port + i] no matter which process owns it — so hosts gossip with
+   each other through nothing but UDP datagrams.  Killing a host with
+   SIGKILL is therefore a *real* crash of a real address space: its
+   sockets close, in-flight datagrams bounce off dead ports, and the rest
+   of the cluster must survive on its own protocol rules.
+
+   Control surfaces, all line/datagram textual:
+
+   - stdin (the spawner holds the write end): one command per line.
+     EOF means the controller is gone — the host stops rather than
+     running orphaned.
+   - a UDP control socket on [control_port]: the same commands as
+     datagrams, for controllers that outlive pipes (respawned hosts).
+   - SIGTERM / SIGINT: clean stop, identical to the [stop] command.
+
+   Commands: [stop] · [snapshot] (report views without stopping) ·
+   [filter K] / [filter off] (cross-process partition window: drop
+   datagrams crossing a K-way split) · [ping] (UDP liveness echo).
+
+   Reports, written to stdout as single lines (the spawner's collection
+   protocol):
+
+     ready HOST PID FIRST COUNT        once, after binding every socket
+     view ID E1,E2,...                 per owned node at [snapshot]/stop
+     stats k=v k=v ...                 once at stop
+     bye                               last line before exit
+
+   where each view entry E is [id:serial:anchor:born] (anchor -1 = none)
+   and a view line with no entries shows [-].  Heartbeat datagrams
+   [hb HOST PID ACTIONS] go to [controller_port] every [heartbeat]
+   seconds so the spawner can distinguish a live host from a wedged one
+   without consuming stdout. *)
+
+type config = {
+  host_index : int;
+  hosts : int;
+  nodes_per_host : int;
+  base_port : int;
+  control_port : int;      (* this host's UDP command socket *)
+  controller_port : int;   (* heartbeat sink; 0 disables heartbeats *)
+  protocol : Sf_core.Protocol.config;
+  out_degree : int;
+  scenario : Sf_faults.Scenario.t;  (* loss model only; no windows *)
+  loss_rate : float;
+  period : float;
+  version : int;
+  seed : int;
+  duration : float;        (* hard cap on the run, seconds *)
+  heartbeat : float;
+  resilience : Sf_resil.Policy.t option;
+}
+
+let entry_to_string (e : Sf_core.View.entry) =
+  Fmt.str "%d:%d:%d:%d" e.Sf_core.View.id e.Sf_core.View.serial
+    (match e.Sf_core.View.anchor with None -> -1 | Some a -> a)
+    e.Sf_core.View.born
+
+let view_line id view =
+  let entries = List.map entry_to_string (Sf_core.View.entries view) in
+  Fmt.str "view %d %s"
+    id
+    (match entries with [] -> "-" | es -> String.concat "," es)
+
+let emit_views driver =
+  Seq.iter
+    (fun (id, view) -> Fmt.pr "%s@." (view_line id view))
+    (Driver.views driver)
+
+let emit_stats driver =
+  let s = Driver.statistics driver in
+  let quantile q =
+    let v = Driver.action_latency_quantile driver q in
+    if Float.is_nan v then 0. else v *. 1e6
+  in
+  Fmt.pr
+    "stats actions=%d sent=%d dropped=%d received=%d messages=%d emitted=%d \
+     batches=%d frames=%d hellos_sent=%d hellos_received=%d crc_rejected=%d \
+     truncated=%d oversized=%d decode_errors=%d send_errors=%d filtered=%d \
+     corrupted=%d repairs=%d recoveries=%d retunes=%d p50_us=%.1f p99_us=%.1f@."
+    s.Driver.actions s.Driver.datagrams_sent s.Driver.datagrams_dropped
+    s.Driver.datagrams_received s.Driver.messages_received
+    s.Driver.datagrams_emitted s.Driver.batches_sent s.Driver.frames_sent
+    s.Driver.hellos_sent s.Driver.hellos_received s.Driver.frames_crc_rejected
+    s.Driver.datagrams_truncated s.Driver.datagrams_oversized
+    s.Driver.decode_errors s.Driver.send_errors s.Driver.datagrams_filtered
+    s.Driver.datagrams_corrupted s.Driver.repair_attempts s.Driver.recoveries
+    s.Driver.retunes (quantile 0.5) (quantile 0.99)
+
+(* One control command, from stdin or the control socket.  [reply] sends a
+   line back the way the command came (stdout for stdin commands, a
+   datagram to the sender for UDP ones). *)
+let handle_command driver ~reply line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()  (* blank line *)
+  | [ "stop" ] -> Driver.request_stop driver
+  | [ "snapshot" ] ->
+    Seq.iter (fun (id, view) -> reply (view_line id view)) (Driver.views driver);
+    reply "end"
+  | [ "filter"; "off" ] -> Driver.set_partition_filter driver ~parts:None
+  | [ "filter"; k ] -> (
+    match int_of_string_opt k with
+    | Some parts when parts >= 2 ->
+      Driver.set_partition_filter driver ~parts:(Some parts)
+    | _ -> reply "err bad-filter")
+  | [ "ping" ] -> reply (Fmt.str "pong %d" (Unix.getpid ()))
+  | _ -> reply "err unknown-command"
+
+(* Incremental line reader over a non-blocking fd: each readable wakeup
+   drains what the kernel has, fires [on_line] per complete line, and
+   [on_eof] once when the peer closes. *)
+let line_reader fd ~on_line ~on_eof =
+  let pending = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let eof_seen = ref false in
+  fun () ->
+    if not !eof_seen then begin
+      let continue = ref true in
+      while !continue do
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+          continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | 0 ->
+          continue := false;
+          eof_seen := true;
+          on_eof ()
+        | k ->
+          for i = 0 to k - 1 do
+            match Bytes.get chunk i with
+            | '\n' ->
+              let line = Buffer.contents pending in
+              Buffer.clear pending;
+              on_line line
+            | c -> Buffer.add_char pending c
+          done
+      done
+    end
+
+let validate config =
+  if config.hosts < 1 then invalid_arg "Nodehost: hosts < 1";
+  if config.host_index < 0 || config.host_index >= config.hosts then
+    invalid_arg "Nodehost: host index outside [0, hosts)";
+  if config.nodes_per_host < 1 then invalid_arg "Nodehost: empty slice";
+  if config.scenario.Sf_faults.Scenario.windows <> [] then
+    invalid_arg
+      "Nodehost: fault windows are the controller's business (crash = real \
+       kill, partition = filter commands); hosts take a loss model only"
+
+(* Run a node-host to completion: bind the slice, speak the control
+   protocol, report, exit.  This is the whole body of bin/sf_nodehost. *)
+let main config =
+  validate config;
+  let n = config.hosts * config.nodes_per_host in
+  let first = config.host_index * config.nodes_per_host in
+  (* The topology is a function of (seed, n, out_degree) alone, so every
+     host — and the controller checking the merged result — computes the
+     identical global wiring without talking to anyone. *)
+  let topology =
+    Sf_core.Topology.regular
+      (Sf_prng.Rng.create (config.seed + 1))
+      ~n ~out_degree:config.out_degree
+  in
+  let driver =
+    Driver.create ~period:config.period ~scenario:config.scenario
+      ?resilience:config.resilience ~version:config.version ~first
+      ~count:config.nodes_per_host ~serial_stride:config.hosts
+      ~serial_offset:config.host_index ~base_port:config.base_port ~n
+      ~config:config.protocol ~loss_rate:config.loss_rate
+      ~seed:(config.seed + (7919 * (config.host_index + 1)))
+      ~topology ()
+  in
+  (* Clean stop on SIGTERM/SIGINT: the handler only flips the stop flag;
+     the select loop notices via EINTR and unwinds normally, so views and
+     stats still get reported. *)
+  let stop_signal _ = Driver.request_stop driver in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  (* Control channel 1: stdin.  EOF = controller gone = stop. *)
+  Unix.set_nonblock Unix.stdin;
+  Driver.add_channel driver Unix.stdin
+    (line_reader Unix.stdin
+       ~on_line:(handle_command driver ~reply:(fun line -> Fmt.pr "%s@." line))
+       ~on_eof:(fun () -> Driver.request_stop driver));
+  (* Control channel 2: a UDP command socket, reachable even after a
+     respawn replaces the pipes. *)
+  let control = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.set_nonblock control;
+  Unix.setsockopt control Unix.SO_REUSEADDR true;
+  Unix.bind control
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, config.control_port));
+  let control_buffer = Bytes.create 512 in
+  Driver.add_channel driver control (fun () ->
+      let continue = ref true in
+      while !continue do
+        match
+          Unix.recvfrom control control_buffer 0 (Bytes.length control_buffer) []
+        with
+        | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+          continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+        | length, from ->
+          let line = Bytes.sub_string control_buffer 0 length in
+          handle_command driver
+            ~reply:(fun line ->
+              let packet = Bytes.of_string (line ^ "\n") in
+              try ignore (Unix.sendto control packet 0 (Bytes.length packet) [] from)
+              with Unix.Unix_error _ -> ())
+            line
+      done);
+  (* Heartbeats: liveness the spawner can watch without consuming stdout. *)
+  if config.controller_port > 0 then begin
+    let sink =
+      Unix.ADDR_INET (Unix.inet_addr_loopback, config.controller_port)
+    in
+    let beat () =
+      let s = Driver.statistics driver in
+      let packet =
+        Bytes.of_string
+          (Fmt.str "hb %d %d %d\n" config.host_index (Unix.getpid ())
+             s.Driver.actions)
+      in
+      try ignore (Unix.sendto control packet 0 (Bytes.length packet) [] sink)
+      with Unix.Unix_error _ -> ()
+    in
+    Driver.add_periodic driver ~every:config.heartbeat beat;
+    beat ()
+  end;
+  Fmt.pr "ready %d %d %d %d@." config.host_index (Unix.getpid ()) first
+    config.nodes_per_host;
+  Driver.run driver ~duration:config.duration;
+  emit_views driver;
+  emit_stats driver;
+  Fmt.pr "bye@.";
+  (try Unix.close control with Unix.Unix_error _ -> ());
+  Driver.shutdown driver

@@ -249,6 +249,23 @@ let rules =
         ];
     };
     {
+      id = "no-raw-process";
+      doc =
+        "no raw process control: Unix.fork/Unix.create_process/Unix.kill/\
+         Unix.waitpid are forbidden outside lib/net/spawner.ml — process \
+         lifecycle (spawn, SIGKILL chaos, reaping, respawn backoff) must go \
+         through the cluster spawner so every child is tracked, reaped and \
+         killed on error paths";
+      applies = (fun path -> is_source path && path <> "lib/net/spawner.ml");
+      tokens =
+        [
+          ("Unix.fork", "raw fork — spawn through Sf_net.Spawner");
+          ("Unix.create_process", "raw spawn — go through Sf_net.Spawner");
+          ("Unix.kill", "raw signal send — go through Sf_net.Spawner");
+          ("Unix.waitpid", "raw reap — go through Sf_net.Spawner");
+        ];
+    };
+    {
       id = "no-print";
       doc = "no direct printing inside lib/ (use logs/fmt)";
       applies = (fun path -> in_lib path && is_source path);
